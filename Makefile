@@ -1,0 +1,43 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench tables ablations accuracy fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+# Scaled-down benchmark suite (minutes on one core).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full paper tables (can take tens of minutes on one core).
+tables:
+	$(GO) run ./cmd/abnn2-bench
+
+ablations:
+	$(GO) run ./cmd/abnn2-bench -ablations
+
+accuracy:
+	$(GO) run ./cmd/abnn2-bench -accuracy
+
+# Short fuzz pass over every fuzz target.
+fuzz:
+	$(GO) test ./internal/quant -fuzz FuzzParse -fuzztime 10s
+	$(GO) test ./internal/nn -fuzz FuzzUnmarshalQuantized -fuzztime 10s
+	$(GO) test ./internal/nn -fuzz FuzzUnmarshalModel -fuzztime 10s
+	$(GO) test ./internal/ring -fuzz FuzzDecodeVec -fuzztime 10s
+	$(GO) test ./internal/transport -fuzz FuzzStreamRecv -fuzztime 10s
+	$(GO) test ./internal/transport -fuzz FuzzStreamRoundTrip -fuzztime 10s
+
+clean:
+	$(GO) clean ./...
+	rm -rf internal/*/testdata/fuzz

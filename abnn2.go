@@ -1,0 +1,272 @@
+// Package abnn2 is a Go implementation of ABNN2 (Shen et al., DAC 2022):
+// secure two-party prediction over arbitrary-bitwidth quantized neural
+// networks. A server holding a quantized model and a client holding an
+// input jointly compute the model's prediction; the server learns nothing
+// about the input, the client nothing about the weights beyond the
+// (public) architecture.
+//
+// The package is a facade over the building blocks in internal/: train or
+// load a float model, quantize it under a fragmentation scheme such as
+// "8(2,2,2,2)", "ternary" or "binary", and run secure inference over any
+// connection:
+//
+//	model := abnn2.NewMLP(784, 128, 128, 10)
+//	model.Train(images, labels, abnn2.TrainOptions{Epochs: 5})
+//	qm, _ := model.Quantize("8(2,2,2,2)", 8)
+//
+//	serverConn, clientConn := abnn2.Pipe()
+//	go abnn2.Serve(serverConn, qm, abnn2.Config{})          // model owner
+//	client, _ := abnn2.Dial(clientConn, qm.Arch(), abnn2.Config{})
+//	classes, _ := client.Classify(images[:1])               // data owner
+//
+// The offline/online split, the 1-out-of-N OT matrix multiplication, the
+// multi-batch and one-batch optimisations, and both ReLU protocols follow
+// the paper; see DESIGN.md for the experiment map.
+package abnn2
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"abnn2/internal/core"
+	"abnn2/internal/prg"
+	"abnn2/internal/quant"
+	"abnn2/internal/ring"
+	"abnn2/internal/transport"
+)
+
+// Conn is a two-party message channel. Obtain one from Pipe (in-process)
+// or Stream (TCP or any byte stream).
+type Conn = transport.Conn
+
+// Pipe returns an in-process connection pair (server end, client end).
+func Pipe() (Conn, Conn) { return transport.Pipe() }
+
+// MeteredPipe returns an in-process pair plus a traffic meter, useful for
+// measuring protocol cost.
+func MeteredPipe() (Conn, Conn, *transport.Meter) { return transport.MeteredPipe() }
+
+// Stream frames messages over a byte stream such as a *net.TCPConn.
+func Stream(rw io.ReadWriteCloser) Conn { return transport.NewStream(rw) }
+
+// Config selects protocol parameters. The zero value means: 32-bit ring,
+// fully oblivious GC ReLU.
+type Config struct {
+	// RingBits is l of the share ring Z_2^l (8..64). Default 32.
+	RingBits uint
+	// OptimizedReLU selects the paper's section 4.2 sign-bit ReLU, which
+	// is ~3x cheaper in garbled tables but reveals each activation's sign
+	// to both parties. Off by default.
+	OptimizedReLU bool
+	// Seed, when non-zero, makes the client's randomness deterministic
+	// (testing/benchmarks only — never set in production).
+	Seed uint64
+}
+
+func (c Config) ringBits() uint {
+	if c.RingBits == 0 {
+		return 32
+	}
+	return c.RingBits
+}
+
+// validate rejects configurations the lower layers would panic on.
+func (c Config) validate() error {
+	if b := c.ringBits(); b < 8 || b > 64 {
+		return fmt.Errorf("abnn2: RingBits %d out of range [8,64]", b)
+	}
+	return nil
+}
+
+func (c Config) variant() core.ReLUVariant {
+	if c.OptimizedReLU {
+		return core.ReLUOptimized
+	}
+	return core.ReLUGC
+}
+
+func (c Config) rng() *prg.PRG {
+	if c.Seed != 0 {
+		return prg.New(prg.SeedFromInt(c.Seed))
+	}
+	return prg.New(prg.NewSeed())
+}
+
+// Arch is the public network architecture shared by both parties.
+type Arch = core.Arch
+
+// Serve runs the server side of secure inference until conn closes:
+// setup, then one offline+online round per client batch request. It
+// returns nil when the client closes the connection cleanly.
+func Serve(conn Conn, model *QuantizedModel, cfg Config) error {
+	srv, err := NewServer(conn, model, cfg)
+	if err != nil {
+		return err
+	}
+	for {
+		err := srv.HandleBatch()
+		if errors.Is(err, transport.ErrClosed) || errors.Is(err, io.EOF) {
+			return nil // client hung up cleanly between batches
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Server is the model owner's endpoint.
+type Server struct {
+	eng  *core.ServerEngine
+	conn Conn
+}
+
+// NewServer performs the cryptographic setup (base OTs) for the server
+// role.
+func NewServer(conn Conn, model *QuantizedModel, cfg Config) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	scheme := model.qm.Layers[0].Scheme
+	p := core.Params{Ring: ring.New(cfg.ringBits()), Scheme: scheme}
+	eng, err := core.NewServerEngine(conn, model.qm, p, cfg.variant())
+	if err != nil {
+		return nil, err
+	}
+	return &Server{eng: eng, conn: conn}, nil
+}
+
+// HandleBatch serves one prediction batch: it receives the client's batch
+// announcement (size + output mode), runs the offline phase, then the
+// online phase.
+func (s *Server) HandleBatch() error {
+	raw, err := s.conn.Recv()
+	if err != nil {
+		return err
+	}
+	if len(raw) != 5 {
+		return fmt.Errorf("abnn2: malformed batch announcement")
+	}
+	batch := int(uint32(raw[0]) | uint32(raw[1])<<8 | uint32(raw[2])<<16 | uint32(raw[3])<<24)
+	if batch <= 0 || batch > 1<<20 {
+		return fmt.Errorf("abnn2: batch size %d out of range", batch)
+	}
+	argmax := raw[4] == 1
+	if raw[4] > 1 {
+		return fmt.Errorf("abnn2: unknown output mode %d", raw[4])
+	}
+	if err := s.eng.Offline(batch); err != nil {
+		return err
+	}
+	if argmax {
+		return s.eng.OnlineArgmax()
+	}
+	return s.eng.Online()
+}
+
+// Client is the data owner's endpoint.
+type Client struct {
+	eng  *core.ClientEngine
+	conn Conn
+	arch Arch
+	rg   ring.Ring
+	frac uint
+}
+
+// Dial performs the cryptographic setup for the client role. arch must
+// match the server's model (it is public information, including the
+// quantization scheme name).
+func Dial(conn Conn, arch Arch, cfg Config) (*Client, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	scheme, err := quant.Parse(arch.SchemeName)
+	if err != nil {
+		return nil, fmt.Errorf("abnn2: architecture scheme: %w", err)
+	}
+	rg := ring.New(cfg.ringBits())
+	p := core.Params{Ring: rg, Scheme: scheme}
+	eng, err := core.NewClientEngine(conn, arch, p, cfg.variant(), cfg.rng())
+	if err != nil {
+		return nil, err
+	}
+	return &Client{eng: eng, conn: conn, arch: arch, rg: rg, frac: arch.Frac}, nil
+}
+
+// Classify securely evaluates the model on a batch of float inputs and
+// returns the predicted class indices (computed locally from the full
+// score vector; see ClassifyPrivate to reveal only the class).
+func (c *Client) Classify(inputs [][]float64) ([]int, error) {
+	out, err := c.Infer(inputs)
+	if err != nil {
+		return nil, err
+	}
+	classes := make([]int, len(inputs))
+	for k := range inputs {
+		best, bestV := 0, c.rg.Signed(out.At(0, k))
+		for i := 1; i < out.Rows; i++ {
+			if v := c.rg.Signed(out.At(i, k)); v > bestV {
+				best, bestV = i, v
+			}
+		}
+		classes[k] = best
+	}
+	return classes, nil
+}
+
+// ClassifyPrivate is Classify with a garbled-circuit argmax finish: the
+// client learns only the winning class per input — not the scores — and
+// the server still learns nothing. Costs one extra GC round.
+func (c *Client) ClassifyPrivate(inputs [][]float64) ([]int, error) {
+	X, err := c.encodeBatch(inputs)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.announce(len(inputs), 1); err != nil {
+		return nil, err
+	}
+	if err := c.eng.Offline(len(inputs)); err != nil {
+		return nil, err
+	}
+	return c.eng.PredictArgmax(X)
+}
+
+// Infer securely evaluates the model and returns the raw ring outputs
+// (one column per input). Most callers want Classify.
+func (c *Client) Infer(inputs [][]float64) (*ring.Mat, error) {
+	X, err := c.encodeBatch(inputs)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.announce(len(inputs), 0); err != nil {
+		return nil, err
+	}
+	if err := c.eng.Offline(len(inputs)); err != nil {
+		return nil, err
+	}
+	return c.eng.Predict(X)
+}
+
+func (c *Client) encodeBatch(inputs [][]float64) (*ring.Mat, error) {
+	batch := len(inputs)
+	if batch == 0 {
+		return nil, fmt.Errorf("abnn2: empty batch")
+	}
+	in := c.arch.InputSize()
+	X := ring.NewMat(in, batch)
+	fp := ring.NewFixedPoint(c.rg, c.frac)
+	for k, x := range inputs {
+		if len(x) != in {
+			return nil, fmt.Errorf("abnn2: input %d has %d features, want %d", k, len(x), in)
+		}
+		for i, v := range x {
+			X.Set(i, k, fp.Encode(v))
+		}
+	}
+	return X, nil
+}
+
+func (c *Client) announce(batch int, mode byte) error {
+	ann := []byte{byte(batch), byte(batch >> 8), byte(batch >> 16), byte(batch >> 24), mode}
+	return c.conn.Send(ann)
+}

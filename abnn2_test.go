@@ -1,0 +1,292 @@
+package abnn2
+
+import (
+	"sync"
+	"testing"
+)
+
+// trainSmall builds a small trained+quantized model for API tests.
+func trainSmall(t *testing.T, scheme string) (*QuantizedModel, Dataset) {
+	t.Helper()
+	ds := SyntheticDataset(300, 21)
+	train, test := ds.Split(0.8)
+	m := NewMLP(784, 16, 10)
+	m.Train(train.Inputs, train.Labels, TrainOptions{Epochs: 2})
+	qm, err := m.Quantize(scheme, 8)
+	if err != nil {
+		t.Fatalf("quantize: %v", err)
+	}
+	return qm, test
+}
+
+func TestSecureClassifyMatchesPlaintext(t *testing.T) {
+	qm, test := trainSmall(t, "8(2,2,2,2)")
+	sc, cc := Pipe()
+	defer sc.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var srvErr error
+	go func() {
+		defer wg.Done()
+		srvErr = Serve(sc, qm, Config{RingBits: 64, Seed: 1})
+	}()
+	client, err := Dial(cc, qm.Arch(), Config{RingBits: 64, Seed: 2})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	inputs := test.Inputs[:3]
+	got, err := client.Classify(inputs)
+	if err != nil {
+		t.Fatalf("classify: %v", err)
+	}
+	for k, x := range inputs {
+		if want := qm.Predict(x); got[k] != want {
+			t.Errorf("input %d: secure class %d, plaintext %d", k, got[k], want)
+		}
+	}
+	sc.Close()
+	wg.Wait()
+	if srvErr != nil {
+		t.Fatalf("server: %v", srvErr)
+	}
+}
+
+func TestSecureClassifyMultipleBatches(t *testing.T) {
+	qm, test := trainSmall(t, "ternary")
+	sc, cc := Pipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		Serve(sc, qm, Config{RingBits: 64, Seed: 3})
+	}()
+	client, err := Dial(cc, qm.Arch(), Config{RingBits: 64, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		inputs := test.Inputs[round*2 : round*2+2]
+		got, err := client.Classify(inputs)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for k, x := range inputs {
+			if want := qm.Predict(x); got[k] != want {
+				t.Errorf("round %d input %d: %d want %d", round, k, got[k], want)
+			}
+		}
+	}
+	sc.Close()
+	wg.Wait()
+}
+
+func TestOptimizedReLUConfig(t *testing.T) {
+	qm, test := trainSmall(t, "binary")
+	sc, cc := Pipe()
+	defer sc.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		Serve(sc, qm, Config{RingBits: 64, OptimizedReLU: true, Seed: 5})
+	}()
+	client, err := Dial(cc, qm.Arch(), Config{RingBits: 64, OptimizedReLU: true, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Classify(test.Inputs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range got {
+		if want := qm.Predict(test.Inputs[k]); got[k] != want {
+			t.Errorf("input %d: %d want %d", k, got[k], want)
+		}
+	}
+}
+
+func TestFloatModelJSONAndPredict(t *testing.T) {
+	m := Fig4Network()
+	x := make([]float64, 784)
+	x[5] = 1
+	class := m.Predict(x)
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Predict(x) != class {
+		t.Error("prediction changed after float model roundtrip")
+	}
+	if _, err := LoadModel([]byte("nope")); err == nil {
+		t.Error("garbage model accepted")
+	}
+}
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	qm, test := trainSmall(t, "4(2,2)")
+	data, err := qm.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm2, err := LoadQuantizedModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qm2.Scheme() != "4(2,2)" {
+		t.Errorf("scheme after roundtrip: %s", qm2.Scheme())
+	}
+	for _, x := range test.Inputs[:5] {
+		if qm.Predict(x) != qm2.Predict(x) {
+			t.Error("prediction changed after roundtrip")
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	qm, _ := trainSmall(t, "binary")
+	sc, cc := Pipe()
+	defer sc.Close()
+	if _, err := NewServer(sc, qm, Config{RingBits: 70}); err == nil {
+		t.Error("RingBits 70 accepted by server")
+	}
+	if _, err := Dial(cc, qm.Arch(), Config{RingBits: 4}); err == nil {
+		t.Error("RingBits 4 accepted by client")
+	}
+}
+
+func TestDialRejectsBadScheme(t *testing.T) {
+	arch := Arch{SchemeName: "nonsense"}
+	_, cc := Pipe()
+	if _, err := Dial(cc, arch, Config{}); err == nil {
+		t.Error("bad scheme accepted")
+	}
+}
+
+func TestClassifyValidatesInput(t *testing.T) {
+	qm, _ := trainSmall(t, "binary")
+	sc, cc := Pipe()
+	defer sc.Close()
+	go Serve(sc, qm, Config{RingBits: 64})
+	client, err := Dial(cc, qm.Arch(), Config{RingBits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Classify(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := client.Classify([][]float64{{1, 2}}); err == nil {
+		t.Error("wrong feature count accepted")
+	}
+}
+
+func TestClassifyPrivateMatchesClassify(t *testing.T) {
+	qm, test := trainSmall(t, "8(2,2,2,2)")
+	sc, cc := Pipe()
+	defer sc.Close()
+	go Serve(sc, qm, Config{RingBits: 64, Seed: 11})
+	client, err := Dial(cc, qm.Arch(), Config{RingBits: 64, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := test.Inputs[:3]
+	private, err := client.ClassifyPrivate(inputs)
+	if err != nil {
+		t.Fatalf("classify private: %v", err)
+	}
+	for k, x := range inputs {
+		if want := qm.Predict(x); private[k] != want {
+			t.Errorf("input %d: private class %d, plaintext %d", k, private[k], want)
+		}
+	}
+}
+
+func TestSecureCNNViaFacade(t *testing.T) {
+	ds := SyntheticDataset(200, 61)
+	train, test := ds.Split(0.8)
+	m := NewSmallCNN(2)
+	m.Train(train.Inputs, train.Labels, TrainOptions{Epochs: 1, BatchSize: 16})
+	qm, err := m.Quantize("8(2,2,2,2)", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, cc := Pipe()
+	defer sc.Close()
+	go Serve(sc, qm, Config{RingBits: 64, Seed: 13})
+	client, err := Dial(cc, qm.Arch(), Config{RingBits: 64, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := test.Inputs[:2]
+	got, err := client.Classify(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, x := range inputs {
+		if want := qm.Predict(x); got[k] != want {
+			t.Errorf("input %d: secure CNN class %d, plaintext %d", k, got[k], want)
+		}
+	}
+}
+
+// Requantized models run on the small 32-bit ring and still classify
+// correctly end to end.
+func TestSecureClassifyRequant32(t *testing.T) {
+	ds := SyntheticDataset(300, 51)
+	train, test := ds.Split(0.8)
+	m := NewMLP(784, 16, 10)
+	m.Train(train.Inputs, train.Labels, TrainOptions{Epochs: 2})
+	qm, err := m.QuantizeRequant("8(2,2,2,2)", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, cc := Pipe()
+	defer sc.Close()
+	go Serve(sc, qm, Config{RingBits: 32, Seed: 9})
+	client, err := Dial(cc, qm.Arch(), Config{RingBits: 32, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := test.Inputs[:4]
+	got, err := client.Classify(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for k, x := range inputs {
+		if got[k] == qm.Predict(x) {
+			agree++
+		}
+	}
+	// Truncation slack can flip near-ties; demand full agreement here (the
+	// synthetic task has wide margins) to catch systematic errors.
+	if agree != len(inputs) {
+		t.Errorf("only %d/%d secure predictions match plaintext requant inference", agree, len(inputs))
+	}
+}
+
+func TestQuantizationAccuracyLadder(t *testing.T) {
+	// Higher bitwidth should not be (much) worse than lower bitwidth.
+	ds := SyntheticDataset(400, 31)
+	train, test := ds.Split(0.75)
+	m := NewMLP(784, 16, 10)
+	m.Train(train.Inputs, train.Labels, TrainOptions{Epochs: 3})
+	acc := map[string]float64{}
+	for _, s := range []string{"binary", "ternary", "4(2,2)", "8(2,2,2,2)"} {
+		qm, err := m.Quantize(s, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc[s] = qm.Accuracy(test.Inputs, test.Labels)
+	}
+	if acc["8(2,2,2,2)"]+0.15 < acc["binary"] {
+		t.Errorf("8-bit accuracy %.3f far below binary %.3f", acc["8(2,2,2,2)"], acc["binary"])
+	}
+	floatAcc := m.Accuracy(test.Inputs, test.Labels)
+	if acc["8(2,2,2,2)"] < floatAcc-0.15 {
+		t.Errorf("8-bit accuracy %.3f far below float %.3f", acc["8(2,2,2,2)"], floatAcc)
+	}
+}

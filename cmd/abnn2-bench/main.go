@@ -1,0 +1,65 @@
+// Command abnn2-bench regenerates the paper's evaluation tables (1-5)
+// and the ablation studies from DESIGN.md.
+//
+// Usage:
+//
+//	abnn2-bench                 # every table, full paper configuration
+//	abnn2-bench -table 3        # one table
+//	abnn2-bench -quick          # scaled-down shapes (< 1 minute total)
+//	abnn2-bench -ablations      # ablation studies only
+//
+// Full mode runs the exact paper shapes (Figure 4 network, batch sizes up
+// to 128) and can take several minutes on one core; see EXPERIMENTS.md
+// for recorded outputs and the paper-vs-measured discussion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"abnn2/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to run: 1..5 or all")
+	quick := flag.Bool("quick", false, "scaled-down shapes for a fast run")
+	ablations := flag.Bool("ablations", false, "run ablation studies instead of tables")
+	accuracy := flag.Bool("accuracy", false, "run the quantization accuracy ladder instead of tables")
+	flag.Parse()
+
+	opt := bench.Options{Quick: *quick, Out: os.Stdout}
+	if *accuracy {
+		bench.Accuracy(opt)
+		return
+	}
+	if *ablations {
+		bench.AblationOneBatch(opt)
+		bench.AblationMultiBatch(opt)
+		bench.AblationReLU(opt)
+		bench.AblationFragmentN(opt)
+		bench.AblationRing(opt)
+		bench.AblationXONN(opt)
+		return
+	}
+	run := map[string]func(bench.Options){
+		"1":   func(o bench.Options) { bench.Table1(o) },
+		"2":   func(o bench.Options) { bench.Table2(o) },
+		"3":   func(o bench.Options) { bench.Table3(o) },
+		"4":   func(o bench.Options) { bench.Table4(o) },
+		"5":   func(o bench.Options) { bench.Table5(o) },
+		"cnn": func(o bench.Options) { bench.TableCNN(o) },
+	}
+	if *table == "all" {
+		for _, k := range []string{"1", "2", "3", "4", "5", "cnn"} {
+			run[k](opt)
+		}
+		return
+	}
+	f, ok := run[*table]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "abnn2-bench: unknown table %q (want 1..5, cnn, or all)\n", *table)
+		os.Exit(2)
+	}
+	f(opt)
+}

@@ -1,0 +1,67 @@
+// Command abnn2-client connects to abnn2-server, receives the public
+// architecture, and requests secure predictions for synthetic inputs.
+// The server never sees the inputs; the client never sees the weights.
+//
+// Usage:
+//
+//	abnn2-client -connect localhost:9000 -n 4
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"abnn2"
+)
+
+func main() {
+	addr := flag.String("connect", "localhost:9000", "server address")
+	n := flag.Int("n", 4, "number of inputs to classify (one batch)")
+	ringBits := flag.Uint("ring", 64, "share ring bit width l (must match server)")
+	optRelu := flag.Bool("optimized-relu", false, "must match the server's setting")
+	seed := flag.Uint64("dataset-seed", 7, "synthetic dataset seed")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("abnn2-client: ")
+
+	tcp, err := net.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatalf("dial: %v", err)
+	}
+	defer tcp.Close()
+	conn := abnn2.Stream(tcp)
+	raw, err := conn.Recv()
+	if err != nil {
+		log.Fatalf("recv architecture: %v", err)
+	}
+	var arch abnn2.Arch
+	if err := json.Unmarshal(raw, &arch); err != nil {
+		log.Fatalf("parse architecture: %v", err)
+	}
+	fmt.Printf("architecture: %d layers, input %d, output %d, scheme %s\n",
+		len(arch.Layers), arch.InputSize(), arch.OutputSize(), arch.SchemeName)
+
+	client, err := abnn2.Dial(conn, arch, abnn2.Config{RingBits: *ringBits, OptimizedReLU: *optRelu})
+	if err != nil {
+		log.Fatalf("setup: %v", err)
+	}
+	ds := abnn2.SyntheticDataset(*n, *seed)
+	start := time.Now()
+	classes, err := client.Classify(ds.Inputs)
+	if err != nil {
+		log.Fatalf("classify: %v", err)
+	}
+	elapsed := time.Since(start)
+	correct := 0
+	for i, c := range classes {
+		fmt.Printf("input %2d: predicted class %d (true label %d)\n", i, c, ds.Labels[i])
+		if c == ds.Labels[i] {
+			correct++
+		}
+	}
+	fmt.Printf("%d/%d match the true labels; batch took %v (offline+online)\n", correct, len(classes), elapsed)
+}

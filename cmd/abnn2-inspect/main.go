@@ -1,0 +1,115 @@
+// Command abnn2-inspect prints a quantized model's structure and its
+// predicted secure-inference cost: per-layer OT counts and offline
+// communication from the paper's Table 1 closed forms, plus GC costs for
+// the activation layers — before running any protocol. Useful for sizing
+// batch/bitwidth/link trade-offs offline.
+//
+// Usage:
+//
+//	abnn2-train -out model.json
+//	abnn2-inspect -model model.json -batch 1,32,128 -wan 9,72
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"abnn2/internal/core"
+	"abnn2/internal/nn"
+	"abnn2/internal/otext"
+)
+
+func main() {
+	modelPath := flag.String("model", "model.json", "quantized model JSON")
+	batches := flag.String("batch", "1,32,128", "comma-separated batch sizes to project")
+	ringBits := flag.Uint("ring", 32, "share ring bit width l")
+	wan := flag.String("wan", "9,72", "WAN model as bandwidthMBps,rttMs")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("abnn2-inspect: ")
+
+	data, err := os.ReadFile(*modelPath)
+	if err != nil {
+		log.Fatalf("read model: %v", err)
+	}
+	qm, err := nn.UnmarshalQuantized(data)
+	if err != nil {
+		log.Fatalf("parse model: %v", err)
+	}
+	bws, rtt, err := parseWAN(*wan)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("model: %d layers, scheme %s, frac %d, ring Z_2^%d\n",
+		len(qm.Layers), qm.Layers[0].Scheme.Name(), qm.Frac, *ringBits)
+	fmt.Println("\nlayers:")
+	var neurons int
+	for i, l := range qm.Layers {
+		kind := "FC"
+		extra := ""
+		if l.Conv != nil {
+			kind = "conv"
+			extra = fmt.Sprintf(" %dx%d/%d over %dx%dx%d", l.Conv.Kh, l.Conv.Kw, l.Conv.Stride, l.Conv.Ci, l.Conv.H, l.Conv.W)
+		}
+		if l.Pool != nil {
+			extra += fmt.Sprintf(" + pool %d", l.Pool.K)
+		}
+		relu := ""
+		if l.ReLU {
+			relu = " + ReLU"
+			neurons += l.OutputSize()
+		}
+		req := ""
+		if l.ReqC != 0 {
+			req = fmt.Sprintf(" (requant %d/2^%d)", l.ReqC, l.ReqT)
+		}
+		fmt.Printf("  %d: %s %d -> %d%s%s%s\n", i, kind, l.In, l.OutputSize(), extra, relu, req)
+	}
+
+	fmt.Printf("\nprojected offline cost (Table 1 closed forms), WAN %.1f MB/s + %d ms RTT:\n", bws, rtt)
+	fmt.Printf("%8s %14s %12s %14s\n", "batch", "#OT", "offline MB", "WAN transfer s")
+	for _, bStr := range strings.Split(*batches, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(bStr))
+		if err != nil || b <= 0 {
+			log.Fatalf("bad batch size %q", bStr)
+		}
+		var ots int64
+		var bits float64
+		for _, l := range qm.Layers {
+			sh := core.MatShape{M: l.Out, N: l.ColRows(), O: b * l.Cols()}
+			c := core.OfflineComplexity(*ringBits, l.Scheme, sh)
+			ots += c.NumOTs
+			bits += c.CommBits
+		}
+		mb := bits / 8 / (1 << 20)
+		fmt.Printf("%8d %14d %12.2f %14.2f\n", b, ots, mb, bits/8/(bws*1e6))
+	}
+
+	// GC activation cost: ~3l AND gates per neuron per prediction.
+	perNeuronAND := 3 * int(*ringBits)
+	fmt.Printf("\nactivations: %d ReLU neurons/prediction -> ~%d AND gates, ~%.2f MB garbled tables each\n",
+		neurons, neurons*perNeuronAND,
+		float64(neurons*perNeuronAND)*2*16/(1<<20))
+	fmt.Printf("(kappa = %d; one-batch C-OT and multi-batch packing selected automatically per batch)\n", otext.Kappa)
+}
+
+func parseWAN(s string) (float64, int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("abnn2-inspect: -wan wants bandwidthMBps,rttMs")
+	}
+	bw, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil || bw <= 0 {
+		return 0, 0, fmt.Errorf("abnn2-inspect: bad bandwidth %q", parts[0])
+	}
+	rtt, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil || rtt < 0 {
+		return 0, 0, fmt.Errorf("abnn2-inspect: bad RTT %q", parts[1])
+	}
+	return bw, rtt, nil
+}

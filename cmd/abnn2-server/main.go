@@ -1,0 +1,72 @@
+// Command abnn2-server serves secure predictions for a quantized model
+// over TCP. On each accepted connection it first sends the model's public
+// architecture as JSON (shapes, ReLU positions, scheme name, fixed-point
+// precision — never weights), then answers secure inference batches until
+// the client disconnects.
+//
+// Usage:
+//
+//	abnn2-train -out model.json
+//	abnn2-server -model model.json -listen :9000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"net"
+	"os"
+
+	"abnn2"
+)
+
+func main() {
+	modelPath := flag.String("model", "model.json", "quantized model JSON")
+	listen := flag.String("listen", ":9000", "listen address")
+	ringBits := flag.Uint("ring", 64, "share ring bit width l")
+	optRelu := flag.Bool("optimized-relu", false, "use the sign-leaking optimized ReLU (section 4.2)")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("abnn2-server: ")
+
+	data, err := os.ReadFile(*modelPath)
+	if err != nil {
+		log.Fatalf("read model: %v", err)
+	}
+	qm, err := abnn2.LoadQuantizedModel(data)
+	if err != nil {
+		log.Fatalf("parse model: %v", err)
+	}
+	cfg := abnn2.Config{RingBits: *ringBits, OptimizedReLU: *optRelu}
+	archJSON, err := json.Marshal(qm.Arch())
+	if err != nil {
+		log.Fatalf("marshal arch: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("serving %s model (%s) on %s, ring=%d relu-optimized=%v",
+		*modelPath, qm.Scheme(), ln.Addr(), *ringBits, *optRelu)
+	for {
+		tcp, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("accept: %v", err)
+		}
+		go func() {
+			defer tcp.Close()
+			conn := abnn2.Stream(tcp)
+			if err := conn.Send(archJSON); err != nil {
+				log.Printf("%s: send arch: %v", tcp.RemoteAddr(), err)
+				return
+			}
+			log.Printf("%s: connected", tcp.RemoteAddr())
+			if err := abnn2.Serve(conn, qm, cfg); err != nil {
+				log.Printf("%s: %v", tcp.RemoteAddr(), err)
+				return
+			}
+			log.Printf("%s: done", tcp.RemoteAddr())
+		}()
+	}
+}

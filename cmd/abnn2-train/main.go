@@ -1,0 +1,80 @@
+// Command abnn2-train trains the paper's Figure 4 network on the
+// synthetic MNIST-shaped dataset, quantizes it under a chosen scheme, and
+// writes both models as JSON. The quantized model file is what
+// abnn2-server serves.
+//
+// Usage:
+//
+//	abnn2-train -scheme "8(2,2,2,2)" -epochs 5 -out model.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"abnn2"
+)
+
+func main() {
+	scheme := flag.String("scheme", "8(2,2,2,2)", "quantization scheme (binary, ternary, or eta(w1,w2,...))")
+	arch := flag.String("arch", "fig4", "architecture: fig4 (paper's 784-128-128-10 MLP) or cnn (conv+pool)")
+	epochs := flag.Int("epochs", 5, "training epochs")
+	samples := flag.Int("samples", 2000, "synthetic dataset size")
+	frac := flag.Uint("frac", 8, "activation fixed-point fractional bits")
+	requant := flag.Bool("requant", false, "insert per-layer requantization (enables small rings like l=32)")
+	out := flag.String("out", "model.json", "output path for the quantized model")
+	floatOut := flag.String("float-out", "", "optional output path for the float model")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("abnn2-train: ")
+
+	ds := abnn2.SyntheticDataset(*samples, 42)
+	train, test := ds.Split(0.9)
+	var model *abnn2.Model
+	switch *arch {
+	case "fig4":
+		model = abnn2.Fig4Network()
+		fmt.Printf("training Fig.4 network (784-128-128-10) on %d samples, %d epochs...\n", len(train.Inputs), *epochs)
+	case "cnn":
+		model = abnn2.NewSmallCNN(4)
+		fmt.Printf("training small CNN (conv 5x5 -> pool 2 -> FC) on %d samples, %d epochs...\n", len(train.Inputs), *epochs)
+	default:
+		log.Fatalf("unknown architecture %q (want fig4 or cnn)", *arch)
+	}
+	loss := model.Train(train.Inputs, train.Labels, abnn2.TrainOptions{Epochs: *epochs})
+	floatAcc := model.Accuracy(test.Inputs, test.Labels)
+	fmt.Printf("final loss %.4f, float test accuracy %.1f%%\n", loss, 100*floatAcc)
+
+	quantize := model.Quantize
+	if *requant {
+		quantize = model.QuantizeRequant
+	}
+	qm, err := quantize(*scheme, *frac)
+	if err != nil {
+		log.Fatalf("quantize: %v", err)
+	}
+	qAcc := qm.Accuracy(test.Inputs, test.Labels)
+	fmt.Printf("quantized (%s) test accuracy %.1f%%\n", *scheme, 100*qAcc)
+
+	data, err := qm.MarshalJSON()
+	if err != nil {
+		log.Fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("write %s: %v", *out, err)
+	}
+	fmt.Printf("wrote quantized model to %s (%d bytes)\n", *out, len(data))
+
+	if *floatOut != "" {
+		fdata, err := model.MarshalJSON()
+		if err != nil {
+			log.Fatalf("marshal float model: %v", err)
+		}
+		if err := os.WriteFile(*floatOut, fdata, 0o644); err != nil {
+			log.Fatalf("write %s: %v", *floatOut, err)
+		}
+		fmt.Printf("wrote float model to %s\n", *floatOut)
+	}
+}

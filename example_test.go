@@ -1,0 +1,69 @@
+package abnn2_test
+
+import (
+	"fmt"
+
+	"abnn2"
+)
+
+// Example demonstrates the minimal train → quantize → secure-classify
+// flow. Both parties run in one process over an in-memory pipe; in a real
+// deployment each side holds one end of a TCP connection (see
+// cmd/abnn2-server and cmd/abnn2-client).
+func Example() {
+	// The model owner trains and quantizes.
+	ds := abnn2.SyntheticDataset(400, 42)
+	train, test := ds.Split(0.9)
+	model := abnn2.NewMLP(784, 16, 10)
+	model.Train(train.Inputs, train.Labels, abnn2.TrainOptions{Epochs: 2})
+	qm, err := model.Quantize("4(2,2)", 8)
+	if err != nil {
+		fmt.Println("quantize:", err)
+		return
+	}
+
+	// Secure inference: the server never sees inputs, the client never
+	// sees weights. Seeds fixed only so the example is deterministic.
+	serverConn, clientConn := abnn2.Pipe()
+	go abnn2.Serve(serverConn, qm, abnn2.Config{RingBits: 64, Seed: 1})
+	client, err := abnn2.Dial(clientConn, qm.Arch(), abnn2.Config{RingBits: 64, Seed: 2})
+	if err != nil {
+		fmt.Println("dial:", err)
+		return
+	}
+	classes, err := client.Classify(test.Inputs[:1])
+	if err != nil {
+		fmt.Println("classify:", err)
+		return
+	}
+	fmt.Println("secure == plaintext:", classes[0] == qm.Predict(test.Inputs[0]))
+	// Output: secure == plaintext: true
+}
+
+// ExampleClient_ClassifyPrivate shows the argmax finish: the client
+// learns only the class index, never the score vector.
+func ExampleClient_ClassifyPrivate() {
+	ds := abnn2.SyntheticDataset(300, 7)
+	train, test := ds.Split(0.9)
+	model := abnn2.NewMLP(784, 12, 10)
+	model.Train(train.Inputs, train.Labels, abnn2.TrainOptions{Epochs: 2})
+	qm, err := model.Quantize("ternary", 8)
+	if err != nil {
+		fmt.Println("quantize:", err)
+		return
+	}
+	serverConn, clientConn := abnn2.Pipe()
+	go abnn2.Serve(serverConn, qm, abnn2.Config{RingBits: 64, Seed: 3})
+	client, err := abnn2.Dial(clientConn, qm.Arch(), abnn2.Config{RingBits: 64, Seed: 4})
+	if err != nil {
+		fmt.Println("dial:", err)
+		return
+	}
+	classes, err := client.ClassifyPrivate(test.Inputs[:1])
+	if err != nil {
+		fmt.Println("classify:", err)
+		return
+	}
+	fmt.Println("matches plaintext:", classes[0] == qm.Predict(test.Inputs[0]))
+	// Output: matches plaintext: true
+}

@@ -1,0 +1,3 @@
+module abnn2
+
+go 1.22

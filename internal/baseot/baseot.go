@@ -1,0 +1,143 @@
+// Package baseot implements the "simplest OT" protocol of Chou and
+// Orlandi over the NIST P-256 curve. These base oblivious transfers are
+// the public-key bootstrap for the OT extensions in internal/otext: a
+// batch of kappa (or 2*kappa for KK13) base OTs is run once per session
+// and all subsequent transfers use only symmetric-key operations.
+//
+// Security is against semi-honest adversaries, the model of the paper.
+package baseot
+
+import (
+	"crypto/elliptic"
+	"fmt"
+	"math/big"
+
+	"abnn2/internal/prg"
+	"abnn2/internal/transport"
+)
+
+// MsgSize is the base-OT payload size: 16 bytes, exactly one PRG seed.
+// Base OTs only ever transfer seeds; longer payloads use OT extension.
+const MsgSize = 16
+
+// Msg is one base-OT message.
+type Msg [MsgSize]byte
+
+var oracle = prg.NewOracle("baseot/chou-orlandi")
+
+// curve is the group; P-256 gives > 128-bit security matching kappa.
+var curve = elliptic.P256()
+
+// Send runs the sender side of a batch of len(pairs) base OTs over conn.
+// pairs[i][b] is delivered if the receiver's i-th choice bit is b.
+func Send(conn transport.Conn, pairs [][2]Msg, rng *prg.PRG) error {
+	n := len(pairs)
+	// Sender secret a, announce A = aG.
+	a := randScalar(rng)
+	ax, ay := curve.ScalarBaseMult(a.Bytes())
+	if err := conn.Send(elliptic.Marshal(curve, ax, ay)); err != nil {
+		return fmt.Errorf("baseot: send A: %w", err)
+	}
+	// Receive all B_i in one message.
+	raw, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("baseot: recv B: %w", err)
+	}
+	ptLen := pointLen()
+	if len(raw) != n*ptLen {
+		return fmt.Errorf("baseot: expected %d B-points (%d bytes), got %d bytes", n, n*ptLen, len(raw))
+	}
+	// For each i: k0 = H(i, a*B_i), k1 = H(i, a*(B_i - A)).
+	// Negate A once for the subtraction.
+	negAy := new(big.Int).Sub(curve.Params().P, ay)
+	out := make([]byte, 0, n*2*MsgSize)
+	for i := 0; i < n; i++ {
+		bx, by := elliptic.Unmarshal(curve, raw[i*ptLen:(i+1)*ptLen])
+		if bx == nil {
+			return fmt.Errorf("baseot: invalid point for OT %d", i)
+		}
+		k0x, k0y := curve.ScalarMult(bx, by, a.Bytes())
+		dx, dy := curve.Add(bx, by, ax, negAy)
+		k1x, k1y := curve.ScalarMult(dx, dy, a.Bytes())
+		k0 := deriveKey(uint64(i), 0, k0x, k0y)
+		k1 := deriveKey(uint64(i), 1, k1x, k1y)
+		var c0, c1 Msg
+		prg.XORBytes(c0[:], pairs[i][0][:], k0[:])
+		prg.XORBytes(c1[:], pairs[i][1][:], k1[:])
+		out = append(out, c0[:]...)
+		out = append(out, c1[:]...)
+	}
+	if err := conn.Send(out); err != nil {
+		return fmt.Errorf("baseot: send ciphertexts: %w", err)
+	}
+	return nil
+}
+
+// Receive runs the receiver side for the given choice bits (one per OT,
+// values 0 or 1) and returns the chosen messages.
+func Receive(conn transport.Conn, choices []byte, rng *prg.PRG) ([]Msg, error) {
+	n := len(choices)
+	raw, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("baseot: recv A: %w", err)
+	}
+	ax, ay := elliptic.Unmarshal(curve, raw)
+	if ax == nil {
+		return nil, fmt.Errorf("baseot: invalid A point")
+	}
+	// For each OT choose b_i; B_i = b_i*G + c_i*A.
+	scalars := make([]*big.Int, n)
+	buf := make([]byte, 0, n*pointLen())
+	for i := 0; i < n; i++ {
+		b := randScalar(rng)
+		scalars[i] = b
+		bx, by := curve.ScalarBaseMult(b.Bytes())
+		if choices[i]&1 == 1 {
+			bx, by = curve.Add(bx, by, ax, ay)
+		}
+		buf = append(buf, elliptic.Marshal(curve, bx, by)...)
+	}
+	if err := conn.Send(buf); err != nil {
+		return nil, fmt.Errorf("baseot: send B: %w", err)
+	}
+	cts, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("baseot: recv ciphertexts: %w", err)
+	}
+	if len(cts) != n*2*MsgSize {
+		return nil, fmt.Errorf("baseot: expected %d ciphertext bytes, got %d", n*2*MsgSize, len(cts))
+	}
+	out := make([]Msg, n)
+	for i := 0; i < n; i++ {
+		// k_c = H(i, b_i * A).
+		kx, ky := curve.ScalarMult(ax, ay, scalars[i].Bytes())
+		k := deriveKey(uint64(i), uint64(choices[i]&1), kx, ky)
+		ct := cts[i*2*MsgSize+int(choices[i]&1)*MsgSize:][:MsgSize]
+		prg.XORBytes(out[i][:], ct, k[:])
+	}
+	return out, nil
+}
+
+func pointLen() int {
+	return 1 + 2*((curve.Params().BitSize+7)/8) // uncompressed marshal
+}
+
+func deriveKey(index, branch uint64, x, y *big.Int) Msg {
+	data := make([]byte, 0, 64)
+	data = append(data, x.Bytes()...)
+	data = append(data, y.Bytes()...)
+	blk := oracle.Block(0, index, branch, data)
+	return Msg(blk)
+}
+
+func randScalar(rng *prg.PRG) *big.Int {
+	nOrder := curve.Params().N
+	byteLen := (nOrder.BitLen() + 7) / 8
+	for {
+		b := rng.Bytes(byteLen)
+		k := new(big.Int).SetBytes(b)
+		if k.Sign() > 0 && k.Cmp(nOrder) < 0 {
+			return k
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package bench regenerates every table of the paper's evaluation
+// section (Tables 1-5) plus the ablation studies listed in DESIGN.md.
+// Each table function runs the real protocols between two in-process
+// parties over metered pipes, measures wall time and exact wire traffic,
+// and applies the paper's published link parameters analytically to
+// produce LAN/WAN rows (see internal/transport's NetModel and DESIGN.md,
+// "Substitutions").
+//
+// All randomness is seeded: rerunning a table reproduces it bit for bit.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"abnn2/internal/transport"
+)
+
+// Options tunes how much work the tables do. The zero value runs the
+// full paper configuration; Quick trims batch sizes and dimensions so the
+// whole suite finishes in well under a minute (used by `go test -bench`).
+type Options struct {
+	Quick bool
+	Out   io.Writer // defaults to io.Discard when nil
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+// measurement is one protocol execution's cost profile.
+type measurement struct {
+	Wall  time.Duration
+	Stats transport.Stats
+}
+
+// CommMB reports traffic in MiB, the unit the paper labels "MB".
+func (m measurement) CommMB() float64 {
+	return float64(m.Stats.TotalBytes()) / (1 << 20)
+}
+
+// timeUnder applies a network model: measured compute plus modelled wire
+// time, in seconds.
+func (m measurement) timeUnder(nm transport.NetModel) float64 {
+	return nm.TotalTime(m.Wall, m.Stats).Seconds()
+}
+
+// runPair executes the two protocol sides concurrently over a metered
+// pipe and returns the cost profile. Errors from either side abort.
+func runPair(client func(transport.Conn) error, server func(transport.Conn) error) (measurement, error) {
+	ca, cb, meter := transport.MeteredPipe()
+	defer ca.Close()
+	errc := make(chan error, 1)
+	start := time.Now()
+	go func() { errc <- server(cb) }()
+	cerr := client(ca)
+	serr := <-errc
+	wall := time.Since(start)
+	if cerr != nil {
+		return measurement{}, fmt.Errorf("client: %w", cerr)
+	}
+	if serr != nil {
+		return measurement{}, fmt.Errorf("server: %w", serr)
+	}
+	return measurement{Wall: wall, Stats: meter.Snapshot()}, nil
+}
+
+// table is a tiny fixed-width text table writer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func secs(v float64) string { return fmt.Sprintf("%.3f", v) }
+func mb(v float64) string   { return fmt.Sprintf("%.2f", v) }
+func count(v int64) string  { return fmt.Sprintf("%d", v) }
+
+// fig4Shapes are the paper's evaluation network layer shapes (Figure 4).
+type layerShape struct{ M, N int }
+
+var fig4Shapes = []layerShape{{128, 784}, {128, 128}, {10, 128}}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+
+	"abnn2/internal/core"
+	"abnn2/internal/prg"
+	"abnn2/internal/quant"
+	"abnn2/internal/ring"
+	"abnn2/internal/transport"
+)
+
+// Table2Row records the offline triplet-generation cost for the 3-layer
+// network under one fragmentation scheme and batch size.
+type Table2Row struct {
+	Eta    string // weight bitwidth group ("8", "6", ... or "-")
+	Scheme string // fragmentation designation
+	Batch  int
+	LANSec float64 // compute + LAN-model time
+	CommMB float64
+}
+
+// table2Schemes mirrors the paper's row set: every fragmentation of
+// eta in {8,6,4,3}, plus ternary and binary.
+var table2Schemes = []struct {
+	eta    string
+	scheme quant.Scheme
+}{
+	{"8", quant.OneBit(8, true)},
+	{"8", quant.Uniform(2, 4)},
+	{"8", quant.NewBitScheme(true, 3, 3, 2)},
+	{"8", quant.NewBitScheme(true, 4, 4)},
+	{"6", quant.OneBit(6, true)},
+	{"6", quant.NewBitScheme(true, 2, 2, 2)},
+	{"6", quant.NewBitScheme(true, 3, 3)},
+	{"4", quant.OneBit(4, true)},
+	{"4", quant.NewBitScheme(true, 2, 2)},
+	{"4", quant.NewBitScheme(true, 4)},
+	{"3", quant.OneBit(3, true)},
+	{"3", quant.NewBitScheme(true, 2, 1)},
+	{"3", quant.NewBitScheme(true, 3)},
+	{"-", quant.Ternary()},
+	{"-", quant.Binary()},
+}
+
+// Table2 reproduces the paper's Table 2: offline dot-product triplet
+// generation for the Figure 4 network over Z_2^32 in the LAN setting,
+// for every fragmentation scheme and batch size.
+func Table2(opt Options) []Table2Row {
+	batches := []int{1, 32, 64, 128}
+	shapes := fig4Shapes
+	if opt.Quick {
+		batches = []int{1, 8}
+		shapes = []layerShape{{32, 96}, {32, 32}, {10, 32}}
+	}
+	rg := ring.New(32)
+	var rows []Table2Row
+	for _, sc := range table2Schemes {
+		for _, batch := range batches {
+			m, err := runOfflineNetwork(rg, sc.scheme, shapes, batch)
+			if err != nil {
+				panic(fmt.Sprintf("bench: table2 %s batch %d: %v", sc.scheme.Name(), batch, err))
+			}
+			rows = append(rows, Table2Row{
+				Eta:    sc.eta,
+				Scheme: sc.scheme.Name(),
+				Batch:  batch,
+				LANSec: m.timeUnder(transport.LAN),
+				CommMB: m.CommMB(),
+			})
+		}
+	}
+	t := &table{header: []string{"eta", "scheme", "batch", "LAN(s)", "comm(MB)"}}
+	for _, r := range rows {
+		t.add(r.Eta, r.Scheme, fmt.Sprint(r.Batch), secs(r.LANSec), mb(r.CommMB))
+	}
+	fmt.Fprintf(opt.out(), "Table 2: offline triplet generation, Fig.4 network, l=32, LAN\n%s\n", t)
+	return rows
+}
+
+// runOfflineNetwork generates the offline triplets for every layer of a
+// network, measuring the combined cost.
+func runOfflineNetwork(rg ring.Ring, scheme quant.Scheme, shapes []layerShape, batch int) (measurement, error) {
+	p := core.Params{Ring: rg, Scheme: scheme}
+	mode := core.ModeFor(batch)
+	return runPair(
+		func(conn transport.Conn) error {
+			rng := prg.New(prg.SeedFromInt(1))
+			ct, err := core.NewClientTriplets(conn, p, 1, rng)
+			if err != nil {
+				return err
+			}
+			for _, sh := range shapes {
+				R := rng.Mat(rg, sh.N, batch)
+				if _, err := ct.GenerateClient(core.MatShape{M: sh.M, N: sh.N, O: batch}, R, mode); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(conn transport.Conn) error {
+			st, err := core.NewServerTriplets(conn, p, 1)
+			if err != nil {
+				return err
+			}
+			wrng := prg.New(prg.SeedFromInt(2))
+			min, max := scheme.Range()
+			span := int(max - min + 1)
+			for _, sh := range shapes {
+				W := make([]int64, sh.M*sh.N)
+				for i := range W {
+					W[i] = min + int64(wrng.Intn(span))
+				}
+				if _, err := st.GenerateServer(core.MatShape{M: sh.M, N: sh.N, O: batch}, W, mode); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	)
+}

@@ -1,0 +1,114 @@
+// Package bitmat implements packed bit matrices and their transpose, the
+// data-movement core of IKNP-style OT extension: the receiver builds an
+// m x w bit matrix column-wise (w = code width: 128 for IKNP, 256 for
+// KK13) and both parties need it row-wise, or vice versa.
+package bitmat
+
+import "fmt"
+
+// Matrix is a packed bit matrix with Rows rows of Cols bits each. Row i
+// occupies Data[i*Stride : i*Stride+Stride]; bit j of row i is
+// Data[i*Stride + j/8] >> (j%8) & 1 (LSB-first within each byte).
+// Cols must be a multiple of 8 so rows are byte-aligned.
+type Matrix struct {
+	Rows, Cols int
+	Stride     int // bytes per row = Cols/8
+	Data       []byte
+}
+
+// New returns a zeroed Rows x Cols bit matrix. Cols must be a positive
+// multiple of 8.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols <= 0 || cols%8 != 0 {
+		panic(fmt.Sprintf("bitmat: invalid shape %dx%d (cols must be positive multiple of 8)", rows, cols))
+	}
+	stride := cols / 8
+	return &Matrix{Rows: rows, Cols: cols, Stride: stride, Data: make([]byte, rows*stride)}
+}
+
+// Row returns a view of row i.
+func (m *Matrix) Row(i int) []byte { return m.Data[i*m.Stride : (i+1)*m.Stride] }
+
+// Bit returns bit (i, j).
+func (m *Matrix) Bit(i, j int) byte {
+	return (m.Data[i*m.Stride+j/8] >> (uint(j) % 8)) & 1
+}
+
+// SetBit sets bit (i, j) to v (0 or 1).
+func (m *Matrix) SetBit(i, j int, v byte) {
+	idx := i*m.Stride + j/8
+	mask := byte(1) << (uint(j) % 8)
+	if v&1 == 1 {
+		m.Data[idx] |= mask
+	} else {
+		m.Data[idx] &^= mask
+	}
+}
+
+// XORRowInto XORs src into row i. len(src) must equal Stride.
+func (m *Matrix) XORRowInto(i int, src []byte) {
+	row := m.Row(i)
+	if len(src) != len(row) {
+		panic("bitmat: XORRowInto length mismatch")
+	}
+	for k := range row {
+		row[k] ^= src[k]
+	}
+}
+
+// Transpose returns the Cols x Rows transpose of m. The output has
+// RowsOut = m.Cols and ColsOut = m.Rows rounded up to a byte boundary in
+// storage; callers must treat bits beyond m.Rows in each output row as
+// padding. For the OT extensions in this repo, m.Rows is always padded to
+// a multiple of 8 by the caller, so no slack bits exist in practice.
+func Transpose(m *Matrix) *Matrix {
+	outCols := (m.Rows + 7) &^ 7
+	if outCols == 0 {
+		outCols = 8
+	}
+	out := New(m.Cols, outCols)
+	// Process in 8x8 bit blocks: read 8 rows x 8 columns, transpose the
+	// 64-bit block with shift-mask tricks, write 8 output rows.
+	fullRowBlocks := m.Rows / 8
+	for rb := 0; rb < fullRowBlocks; rb++ {
+		for cb := 0; cb < m.Stride; cb++ {
+			// Gather 8 bytes: one byte (8 column bits) from each of 8 rows.
+			var block uint64
+			base := (rb * 8) * m.Stride
+			for k := 0; k < 8; k++ {
+				block |= uint64(m.Data[base+k*m.Stride+cb]) << (8 * uint(k))
+			}
+			block = transpose8x8(block)
+			// Scatter: byte k of the transposed block holds the bits of
+			// output rows cb*8+k at output column byte rb.
+			obase := (cb * 8) * out.Stride
+			for k := 0; k < 8; k++ {
+				out.Data[obase+k*out.Stride+rb] = byte(block >> (8 * uint(k)))
+			}
+		}
+	}
+	// Tail rows (m.Rows not multiple of 8): bit-by-bit.
+	for i := fullRowBlocks * 8; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.Bit(i, j) == 1 {
+				out.SetBit(j, i, 1)
+			}
+		}
+	}
+	return out
+}
+
+// transpose8x8 transposes an 8x8 bit block packed row-major into a uint64
+// (row k = byte k, LSB-first columns) using the classic delta-swap network.
+func transpose8x8(x uint64) uint64 {
+	// Swap 1x1 blocks within 2x2 tiles.
+	t := (x ^ (x >> 7)) & 0x00AA00AA00AA00AA
+	x = x ^ t ^ (t << 7)
+	// Swap 2x2 blocks within 4x4 tiles.
+	t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCC
+	x = x ^ t ^ (t << 14)
+	// Swap 4x4 blocks within the 8x8 tile.
+	t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0
+	x = x ^ t ^ (t << 28)
+	return x
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"abnn2/internal/prg"
+	"abnn2/internal/ring"
+)
+
+func runSquare(t *testing.T, rg ring.Ring, ys []int64) []int64 {
+	t.Helper()
+	cn, sn, _, done := nonlinearPair(t, rg)
+	defer done()
+	rng := prg.New(prg.SeedFromInt(55))
+	n := len(ys)
+	y0 := make(ring.Vec, n)
+	y1 := make(ring.Vec, n)
+	z1 := rng.Vec(rg, n)
+	for i, y := range ys {
+		y1[i] = rng.Elem(rg)
+		y0[i] = rg.Sub(rg.FromSigned(y), y1[i])
+	}
+	var (
+		cerr error
+		wg   sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cerr = cn.SquareClient(y1, z1)
+	}()
+	z0, serr := sn.SquareServer(y0)
+	wg.Wait()
+	if cerr != nil || serr != nil {
+		t.Fatalf("square: %v %v", cerr, serr)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = rg.Signed(rg.Add(z0[i], z1[i]))
+	}
+	return out
+}
+
+func TestSquareActivation(t *testing.T) {
+	rg := ring.New(16)
+	ys := []int64{0, 1, -1, 7, -7, 100, -100, 181} // 181^2 = 32761 < 2^15
+	got := runSquare(t, rg, ys)
+	for i, y := range ys {
+		want := rg.Signed(rg.FromSigned(y * y))
+		if got[i] != want {
+			t.Errorf("square(%d) = %d, want %d", y, got[i], want)
+		}
+	}
+}
+
+// Squaring wraps mod 2^l exactly like ring multiplication does.
+func TestSquareWrapsModRing(t *testing.T) {
+	rg := ring.New(8)
+	ys := []int64{20, -20, 127} // 400 mod 256 = 144 -> signed -112
+	got := runSquare(t, rg, ys)
+	for i, y := range ys {
+		want := rg.Signed(rg.Mul(rg.FromSigned(y), rg.FromSigned(y)))
+		if got[i] != want {
+			t.Errorf("square(%d) mod 256 = %d, want %d", y, got[i], want)
+		}
+	}
+}
+
+func TestSquareChunkBoundary(t *testing.T) {
+	rg := ring.New(8)
+	n := squareChunk + 5
+	ys := make([]int64, n)
+	for i := range ys {
+		ys[i] = int64(i%23 - 11)
+	}
+	got := runSquare(t, rg, ys)
+	for i, y := range ys {
+		want := rg.Signed(rg.Mul(rg.FromSigned(y), rg.FromSigned(y)))
+		if got[i] != want {
+			t.Fatalf("square[%d](%d) = %d, want %d", i, y, got[i], want)
+		}
+	}
+}
+
+func TestSquareLengthMismatch(t *testing.T) {
+	cn, _, _, done := nonlinearPair(t, ring.New(16))
+	defer done()
+	if err := cn.SquareClient(make(ring.Vec, 2), make(ring.Vec, 1)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

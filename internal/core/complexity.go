@@ -1,0 +1,76 @@
+package core
+
+import (
+	"abnn2/internal/otext"
+	"abnn2/internal/quant"
+)
+
+// Analytic communication/OT-count formulas reproducing the paper's
+// Table 1. These are cross-checked against measured wire bytes in the
+// test suite (TestCommunicationMatchesTable1) — the implementation's
+// traffic equals the formulas exactly, framing aside.
+
+// Complexity is one row of Table 1 for a concrete shape and scheme.
+type Complexity struct {
+	Label    string
+	NumOTs   int64   // # OT invocations
+	CommBits float64 // total communication in bits
+}
+
+// CommMB returns communication in MiB (the paper's tables use MiB and
+// label it MB; we follow its convention when printing).
+func (c Complexity) CommMB() float64 { return c.CommBits / 8 / (1 << 20) }
+
+// SecureMLComplexity evaluates Table 1's SecureML column: OT count
+// l(l+1)/128 * mno and communication mno*l(l+1)*(1+kappa/64) bits.
+func SecureMLComplexity(l uint, sh MatShape) Complexity {
+	mno := int64(sh.M) * int64(sh.N) * int64(sh.O)
+	ll1 := float64(l) * float64(l+1)
+	return Complexity{
+		Label:    "SecureML",
+		NumOTs:   int64(ll1/128*float64(mno) + 0.5),
+		CommBits: float64(mno) * ll1 * (1 + float64(otext.Kappa)/64),
+	}
+}
+
+// MultiBatchComplexity evaluates Table 1's "Ours' M-Batch" column for a
+// (possibly mixed-N) scheme: per fragment, o*l*N payload bits plus the
+// 2*kappa column-matrix bits, summed over gamma*m*n OTs.
+func MultiBatchComplexity(l uint, scheme quant.Scheme, sh MatShape) Complexity {
+	mn := int64(sh.M) * int64(sh.N)
+	var bits float64
+	for f := 0; f < scheme.Gamma(); f++ {
+		n := float64(scheme.FragmentN(f))
+		bits += float64(mn) * (float64(sh.O)*float64(l)*n + 2*otext.Kappa)
+	}
+	return Complexity{
+		Label:    "Ours M-Batch " + scheme.Name(),
+		NumOTs:   int64(scheme.Gamma()) * mn,
+		CommBits: bits,
+	}
+}
+
+// OneBatchComplexity evaluates Table 1's "Ours' 1-Batch" column:
+// l*(N-1) + 2*kappa bits per OT.
+func OneBatchComplexity(l uint, scheme quant.Scheme, sh MatShape) Complexity {
+	mn := int64(sh.M) * int64(sh.N)
+	var bits float64
+	for f := 0; f < scheme.Gamma(); f++ {
+		n := float64(scheme.FragmentN(f))
+		bits += float64(mn) * (float64(l)*(n-1) + 2*otext.Kappa)
+	}
+	return Complexity{
+		Label:    "Ours 1-Batch " + scheme.Name(),
+		NumOTs:   int64(scheme.Gamma()) * mn,
+		CommBits: bits,
+	}
+}
+
+// OfflineComplexity returns the formula matching the implementation's
+// mode selection for a batch size.
+func OfflineComplexity(l uint, scheme quant.Scheme, sh MatShape) Complexity {
+	if sh.O == 1 {
+		return OneBatchComplexity(l, scheme, sh)
+	}
+	return MultiBatchComplexity(l, scheme, sh)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"abnn2/internal/quant"
+)
+
+// Table 1's closed forms against hand-computed values.
+
+func TestSecureMLComplexityKnown(t *testing.T) {
+	// l=64, 128x1000 x 1000x1: #OT = 64*65/128 * 128000 = 4,160,000;
+	// comm = 128000*64*65*(1+2) bits.
+	c := SecureMLComplexity(64, MatShape{M: 128, N: 1000, O: 1})
+	if c.NumOTs != 4160000 {
+		t.Errorf("#OT = %d, want 4160000", c.NumOTs)
+	}
+	wantBits := 128000.0 * 64 * 65 * 3
+	if c.CommBits != wantBits {
+		t.Errorf("comm = %v bits, want %v", c.CommBits, wantBits)
+	}
+}
+
+func TestOneBatchComplexityKnown(t *testing.T) {
+	// 8(2,2,2,2), l=32, m*n = 100: per fragment N=4:
+	// 100 * (32*3 + 256) = 35200 bits; gamma=4 -> 140800 bits, 400 OTs.
+	c := OneBatchComplexity(32, quant.Uniform(2, 4), MatShape{M: 10, N: 10, O: 1})
+	if c.NumOTs != 400 {
+		t.Errorf("#OT = %d, want 400", c.NumOTs)
+	}
+	if c.CommBits != 140800 {
+		t.Errorf("comm = %v bits, want 140800", c.CommBits)
+	}
+}
+
+func TestMultiBatchComplexityKnown(t *testing.T) {
+	// ternary (N=3, gamma=1), l=32, o=4, m*n=100:
+	// 100 * (4*32*3 + 256) = 100 * 640 = 64000 bits, 100 OTs.
+	c := MultiBatchComplexity(32, quant.Ternary(), MatShape{M: 10, N: 10, O: 4})
+	if c.NumOTs != 100 {
+		t.Errorf("#OT = %d, want 100", c.NumOTs)
+	}
+	if c.CommBits != 64000 {
+		t.Errorf("comm = %v bits, want 64000", c.CommBits)
+	}
+}
+
+func TestOfflineComplexitySelectsMode(t *testing.T) {
+	sch := quant.Binary()
+	one := OfflineComplexity(32, sch, MatShape{M: 2, N: 2, O: 1})
+	multi := OfflineComplexity(32, sch, MatShape{M: 2, N: 2, O: 2})
+	if one.CommBits >= multi.CommBits {
+		t.Errorf("one-batch (%v) should be below multi-batch o=2 (%v)", one.CommBits, multi.CommBits)
+	}
+}
+
+// The paper's Table 2 batch-1 values in MiB, reproduced from the formula
+// over the Figure 4 network (l=32).
+func TestTable2Formula(t *testing.T) {
+	shapes := []MatShape{{M: 128, N: 784, O: 1}, {M: 128, N: 128, O: 1}, {M: 10, N: 128, O: 1}}
+	cases := []struct {
+		scheme quant.Scheme
+		wantMB float64 // paper Table 2, batch 1
+	}{
+		{quant.OneBit(8, true), 32.42},
+		{quant.NewBitScheme(true, 3, 3, 2), 18.47},
+		{quant.NewBitScheme(true, 4, 4), 20.72},
+		{quant.Ternary(), 4.51},
+		{quant.Binary(), 4.06},
+	}
+	for _, c := range cases {
+		var bits float64
+		for _, sh := range shapes {
+			bits += OneBatchComplexity(32, c.scheme, sh).CommBits
+		}
+		mb := bits / 8 / (1 << 20)
+		if math.Abs(mb-c.wantMB) > 0.35 {
+			t.Errorf("%s: formula %.2f MB, paper %.2f MB", c.scheme.Name(), mb, c.wantMB)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package core implements ABNN2's protocols: quantized matrix
+// multiplication triplets from 1-out-of-N OT extension (paper section
+// 4.1), the multi-batch and one-batch optimisations, the non-linear layer
+// protocols (section 4.2), and the end-to-end two-party inference engine
+// (section 3, Figure 2).
+//
+// Roles follow the paper: the server S holds the quantized model and acts
+// as the OT-extension *receiver* (its weight fragments are the choices);
+// the client C holds the activations' random shares and acts as the OT
+// *sender*. For the garbled-circuit layers the client garbles and the
+// server evaluates.
+package core
+
+import (
+	"fmt"
+
+	"abnn2/internal/quant"
+	"abnn2/internal/ring"
+	"abnn2/internal/transport"
+)
+
+// Conn is the two-party channel every protocol in this package runs over.
+type Conn = transport.Conn
+
+// Params fixes the public protocol parameters both parties must agree on.
+type Params struct {
+	Ring   ring.Ring    // the share ring Z_2^l
+	Scheme quant.Scheme // weight quantization / fragmentation scheme
+}
+
+// Validate checks internal consistency.
+func (p Params) Validate() error {
+	if p.Ring.Bits() == 0 {
+		return fmt.Errorf("core: ring not initialised")
+	}
+	if p.Scheme == nil {
+		return fmt.Errorf("core: scheme not set")
+	}
+	for i := 0; i < p.Scheme.Gamma(); i++ {
+		if n := p.Scheme.FragmentN(i); n < 2 || n > 256 {
+			return fmt.Errorf("core: fragment %d has N=%d, want [2,256]", i, n)
+		}
+	}
+	return nil
+}
+
+// chunkOTs bounds how many OTs are packed into a single extension round /
+// wire message; it caps peak memory and keeps frames far below the
+// transport limit even at batch size 128.
+const chunkOTs = 4096
+
+// MatShape describes a public matrix-multiplication shape: the server's
+// m x n quantized matrix times the client's n x o share matrix.
+type MatShape struct{ M, N, O int }
+
+// NumOTs returns the OT count gamma*m*n of the offline phase (Table 1).
+func (p Params) NumOTs(sh MatShape) int {
+	return p.Scheme.Gamma() * sh.M * sh.N
+}
+
+// fragValues precomputes, per fragment index, the signed contribution of
+// every candidate, embedded in the ring. fragValues[i][t] =
+// ring(Value(i,t)).
+func (p Params) fragValues() [][]ring.Elem {
+	out := make([][]ring.Elem, p.Scheme.Gamma())
+	for i := range out {
+		n := p.Scheme.FragmentN(i)
+		vals := make([]ring.Elem, n)
+		for t := 0; t < n; t++ {
+			vals[t] = p.Ring.FromSigned(p.Scheme.Value(i, t))
+		}
+		out[i] = vals
+	}
+	return out
+}

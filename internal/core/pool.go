@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"abnn2/internal/gc"
+	"abnn2/internal/ring"
+)
+
+// Secure max pooling and secure argmax, built on the same garbled-circuit
+// session as the ReLU protocols. Both are extensions beyond the paper's
+// FC-only evaluation: pooling enables CNNs (the workloads MiniONN/XONN
+// evaluate), and argmax lets the client learn only the predicted class
+// instead of the full score vector.
+
+// poolChunk bounds windows per garbled circuit, mirroring reluChunk.
+const poolChunk = 512
+
+type poolKey struct {
+	bits uint
+	win  int
+	n    int
+	relu bool
+}
+
+type argmaxKey struct {
+	bits    uint
+	n       int
+	idxBits uint
+	batch   int
+}
+
+// MaxPoolClient runs the client (garbler) side of non-overlapping max
+// pooling. y1 is the client's share of the pre-pool values; windows[i]
+// lists the y-indices of output window i; z1 is the client's pre-chosen
+// share of the pooled outputs (one per window). withReLU fuses
+// max(0, .) into the pool.
+func (c *ClientNonlinear) MaxPoolClient(y1, z1 ring.Vec, windows [][]int, withReLU bool) error {
+	if len(z1) != len(windows) {
+		return fmt.Errorf("core: %d z1 shares for %d windows", len(z1), len(windows))
+	}
+	win, err := uniformWindow(windows)
+	if err != nil {
+		return err
+	}
+	rbits := c.rg.Bits()
+	for start := 0; start < len(windows); start += poolChunk {
+		end := start + poolChunk
+		if end > len(windows) {
+			end = len(windows)
+		}
+		n := end - start
+		circ := c.poolCircuit(rbits, win, n, withReLU)
+		// Gather y1 values in window order.
+		gathered := make(ring.Vec, 0, n*win)
+		for _, w := range windows[start:end] {
+			for _, idx := range w {
+				gathered = append(gathered, y1[idx])
+			}
+		}
+		in := append(gc.VecToBits(gathered, rbits), gc.VecToBits(z1[start:end], rbits)...)
+		if err := c.garb.Run(circ, in); err != nil {
+			return fmt.Errorf("core: maxpool garble: %w", err)
+		}
+	}
+	return nil
+}
+
+// MaxPoolServer runs the server (evaluator) side, returning its shares of
+// the pooled outputs (one per window, in window order).
+func (s *ServerNonlinear) MaxPoolServer(y0 ring.Vec, windows [][]int, withReLU bool) (ring.Vec, error) {
+	win, err := uniformWindow(windows)
+	if err != nil {
+		return nil, err
+	}
+	rbits := s.rg.Bits()
+	z0 := make(ring.Vec, 0, len(windows))
+	for start := 0; start < len(windows); start += poolChunk {
+		end := start + poolChunk
+		if end > len(windows) {
+			end = len(windows)
+		}
+		n := end - start
+		circ := s.poolCircuit(rbits, win, n, withReLU)
+		gathered := make(ring.Vec, 0, n*win)
+		for _, w := range windows[start:end] {
+			for _, idx := range w {
+				gathered = append(gathered, y0[idx])
+			}
+		}
+		out, err := s.eval.Run(circ, gc.VecToBits(gathered, rbits))
+		if err != nil {
+			return nil, fmt.Errorf("core: maxpool evaluate: %w", err)
+		}
+		z0 = append(z0, gc.BitsToVec(out, rbits, n)...)
+	}
+	return z0, nil
+}
+
+func uniformWindow(windows [][]int) (int, error) {
+	if len(windows) == 0 {
+		return 0, fmt.Errorf("core: empty window set")
+	}
+	win := len(windows[0])
+	for i, w := range windows {
+		if len(w) != win {
+			return 0, fmt.Errorf("core: window %d has %d elements, want %d", i, len(w), win)
+		}
+	}
+	return win, nil
+}
+
+func (c *ClientNonlinear) poolCircuit(bits uint, win, n int, relu bool) *gc.Circuit {
+	return c.cache.pool(poolKey{bits, win, n, relu})
+}
+
+func (s *ServerNonlinear) poolCircuit(bits uint, win, n int, relu bool) *gc.Circuit {
+	return s.cache.pool(poolKey{bits, win, n, relu})
+}
+
+// ArgmaxClient runs the client side of secure argmax over a batch of
+// score-share columns (y1 laid out sample-major: sample k occupies
+// y1[k*n:(k+1)*n]). The client learns the argmax of each sample; the
+// server learns nothing (it forwards masked indices).
+func (c *ClientNonlinear) ArgmaxClient(y1 ring.Vec, n, batch int) ([]int, error) {
+	if len(y1) != n*batch {
+		return nil, fmt.Errorf("core: argmax shares %d for %d x %d", len(y1), n, batch)
+	}
+	idxBits := indexBits(n)
+	rbits := c.rg.Bits()
+	circ := c.cache.argmax(argmaxKey{rbits, n, idxBits, batch}, func() *gc.Circuit {
+		return gc.BatchArgmaxCircuit(rbits, n, idxBits, batch)
+	})
+	// Fresh masks from the garbler's randomness pool: derive from a
+	// dedicated PRG child so masks never repeat across calls.
+	masks := make([]uint64, batch)
+	maskBits := make([]byte, 0, batch*int(idxBits))
+	for k := range masks {
+		masks[k] = c.maskRng.Uint64() & ((1 << idxBits) - 1)
+		maskBits = append(maskBits, gc.UintToBits(masks[k], idxBits)...)
+	}
+	in := append(gc.VecToBits(y1, rbits), maskBits...)
+	if err := c.garb.Run(circ, in); err != nil {
+		return nil, fmt.Errorf("core: argmax garble: %w", err)
+	}
+	raw, err := c.conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("core: argmax recv: %w", err)
+	}
+	want := (batch*int(idxBits) + 7) / 8
+	if len(raw) != want {
+		return nil, fmt.Errorf("core: argmax message is %d bytes, want %d", len(raw), want)
+	}
+	out := make([]int, batch)
+	for k := 0; k < batch; k++ {
+		var v uint64
+		for i := 0; i < int(idxBits); i++ {
+			bit := (raw[(k*int(idxBits)+i)/8] >> (uint(k*int(idxBits)+i) % 8)) & 1
+			v |= uint64(bit) << uint(i)
+		}
+		idx := int(v ^ masks[k])
+		if idx >= n {
+			return nil, fmt.Errorf("core: argmax index %d out of range (corrupt transcript)", idx)
+		}
+		out[k] = idx
+	}
+	return out, nil
+}
+
+// ArgmaxServer runs the server side: evaluate the circuit and forward the
+// masked indices to the client.
+func (s *ServerNonlinear) ArgmaxServer(y0 ring.Vec, n, batch int) error {
+	if len(y0) != n*batch {
+		return fmt.Errorf("core: argmax shares %d for %d x %d", len(y0), n, batch)
+	}
+	idxBits := indexBits(n)
+	rbits := s.rg.Bits()
+	circ := s.cache.argmax(argmaxKey{rbits, n, idxBits, batch}, func() *gc.Circuit {
+		return gc.BatchArgmaxCircuit(rbits, n, idxBits, batch)
+	})
+	out, err := s.eval.Run(circ, gc.VecToBits(y0, rbits))
+	if err != nil {
+		return fmt.Errorf("core: argmax evaluate: %w", err)
+	}
+	packed := make([]byte, (len(out)+7)/8)
+	for i, b := range out {
+		if b&1 == 1 {
+			packed[i/8] |= 1 << (uint(i) % 8)
+		}
+	}
+	if err := s.conn.Send(packed); err != nil {
+		return fmt.Errorf("core: argmax send: %w", err)
+	}
+	return nil
+}
+
+// indexBits returns the index width for n candidates.
+func indexBits(n int) uint {
+	if n <= 1 {
+		return 1
+	}
+	return uint(bits.Len(uint(n - 1)))
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+
+	"abnn2/internal/otext"
+	"abnn2/internal/prg"
+	"abnn2/internal/quant"
+	"abnn2/internal/ring"
+)
+
+// This file implements the offline phase: dot-product / matrix triplet
+// generation (paper Algorithm 1 and sections 4.1.2-4.1.3).
+//
+// For a server matrix W (m x n, quantized) and client matrix R (n x o,
+// uniform shares), the parties end with U (server) and V (client), both
+// m x o, such that U + V = W * R mod 2^l.
+//
+// OT enumeration order is row-major over W, fragments innermost:
+// (i, j, f) for i in [m], j in [n], f in [gamma]. Both parties derive the
+// identical order from the public shape and scheme.
+
+// ClientTriplets is the client-side triplet generator. It owns the
+// OT-extension sender (KK13 instantiation over the 256-bit
+// Walsh-Hadamard code, which serves every fragment size up to N=256).
+type ClientTriplets struct {
+	params Params
+	ot     *otext.Sender
+	rng    *prg.PRG
+	vals   [][]ring.Elem
+}
+
+// ServerTriplets is the server-side triplet generator (OT receiver).
+type ServerTriplets struct {
+	params Params
+	ot     *otext.Receiver
+	vals   [][]ring.Elem
+}
+
+// NewClientTriplets performs base-OT setup for the client role.
+func NewClientTriplets(conn Conn, p Params, session uint64, rng *prg.PRG) (*ClientTriplets, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ot, err := otext.NewSender(conn, otext.WalshHadamardCode(256), session, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: client triplet setup: %w", err)
+	}
+	return &ClientTriplets{params: p, ot: ot, rng: rng, vals: p.fragValues()}, nil
+}
+
+// NewServerTriplets performs base-OT setup for the server role. The
+// receiver's setup randomness is independent of any secret reuse, so it
+// is drawn from a fresh OS seed.
+func NewServerTriplets(conn Conn, p Params, session uint64) (*ServerTriplets, error) {
+	return newServerTripletsSeeded(conn, p, session, prg.New(prg.NewSeed()))
+}
+
+// newServerTripletsSeeded is NewServerTriplets with caller-controlled
+// randomness (transcript-determinism tests).
+func newServerTripletsSeeded(conn Conn, p Params, session uint64, rng *prg.PRG) (*ServerTriplets, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ot, err := otext.NewReceiver(conn, otext.WalshHadamardCode(256), session, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: server triplet setup: %w", err)
+	}
+	return &ServerTriplets{params: p, ot: ot, vals: p.fragValues()}, nil
+}
+
+// Mode selects the payload packaging of the offline phase.
+type Mode int
+
+const (
+	// OneBatch is the section 4.1.3 correlated-OT variant: the candidate-0
+	// payload is derived from the random-oracle pad itself, so only N-1
+	// ciphertexts of l bits cross the wire per OT. Only valid for o = 1.
+	OneBatch Mode = iota
+	// MultiBatch is the section 4.1.2 variant: one OT per weight fragment
+	// carries all o products in N ciphertexts of o*l bits each.
+	MultiBatch
+	// NaiveN is the unoptimised Fig. 3 protocol for o = 1 (all N
+	// ciphertexts sent); kept for the one-batch ablation benchmark.
+	NaiveN
+)
+
+func (m Mode) String() string {
+	switch m {
+	case OneBatch:
+		return "one-batch"
+	case MultiBatch:
+		return "multi-batch"
+	case NaiveN:
+		return "naive-N"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ModeFor picks the paper's mode for a batch size: the C-OT variant for
+// single predictions, multi-batch otherwise.
+func ModeFor(o int) Mode {
+	if o == 1 {
+		return OneBatch
+	}
+	return MultiBatch
+}
+
+// GenerateClient runs the client side of the offline phase for shape sh
+// with the client share matrix R (n x o). It returns V (m x o) such that
+// the server's U satisfies U + V = W * R.
+func (c *ClientTriplets) GenerateClient(sh MatShape, R *ring.Mat, mode Mode) (*ring.Mat, error) {
+	if err := checkShape(sh, mode); err != nil {
+		return nil, err
+	}
+	if R.Rows != sh.N || R.Cols != sh.O {
+		return nil, fmt.Errorf("core: R is %dx%d, want %dx%d", R.Rows, R.Cols, sh.N, sh.O)
+	}
+	rg := c.params.Ring
+	gamma := c.params.Scheme.Gamma()
+	total := c.params.NumOTs(sh)
+	V := ring.NewMat(sh.M, sh.O)
+	elemBytes := rg.Bytes()
+	padBytes := sh.O * elemBytes
+
+	ot := 0 // global OT index
+	for ot < total {
+		chunk := total - ot
+		if chunk > chunkOTs {
+			chunk = chunkOTs
+		}
+		blk, err := c.ot.Extend(chunk)
+		if err != nil {
+			return nil, fmt.Errorf("core: client extend: %w", err)
+		}
+		payload := make([]byte, 0, chunk*padBytes*2)
+		for local := 0; local < chunk; local++ {
+			g := ot + local
+			i := g / (sh.N * gamma) // W row
+			j := (g / gamma) % sh.N // W col
+			f := g % gamma          // fragment
+			n := c.params.Scheme.FragmentN(f)
+			vrow := V.Row(i)
+			switch mode {
+			case OneBatch:
+				// s := pad(0); V accumulates s; ciphertexts for t>=1 are
+				// (Value(t)*r - s) XOR pad(t).
+				s := rg.FromBytesFull(blk.Pad(local, 0, 8))
+				vrow[0] = rg.Add(vrow[0], s)
+				r := R.At(j, 0)
+				for t := 1; t < n; t++ {
+					m := rg.Sub(rg.Mul(c.vals[f][t], r), s)
+					ct := xorRingElem(rg, m, blk.Pad(local, t, elemBytes))
+					payload = append(payload, ct...)
+				}
+			case NaiveN:
+				// Fresh random s; all N ciphertexts sent.
+				s := c.rng.Elem(rg)
+				vrow[0] = rg.Add(vrow[0], s)
+				r := R.At(j, 0)
+				for t := 0; t < n; t++ {
+					m := rg.Sub(rg.Mul(c.vals[f][t], r), s)
+					ct := xorRingElem(rg, m, blk.Pad(local, t, elemBytes))
+					payload = append(payload, ct...)
+				}
+			case MultiBatch:
+				// One OT carries all o columns: random s_k per column,
+				// payload_t = concat_k (Value(t)*r_jk - s_k).
+				ss := c.rng.Vec(rg, sh.O)
+				rg.AddVecInPlace(vrow, ss)
+				rrow := R.Row(j)
+				buf := make([]byte, 0, padBytes)
+				for t := 0; t < n; t++ {
+					buf = buf[:0]
+					for k := 0; k < sh.O; k++ {
+						buf = rg.AppendElem(buf, rg.Sub(rg.Mul(c.vals[f][t], rrow[k]), ss[k]))
+					}
+					ct := make([]byte, padBytes)
+					prg.XORBytes(ct, buf, blk.Pad(local, t, padBytes))
+					payload = append(payload, ct...)
+				}
+			}
+		}
+		if err := c.ot.Conn().Send(payload); err != nil {
+			return nil, fmt.Errorf("core: client send payload: %w", err)
+		}
+		ot += chunk
+	}
+	return V, nil
+}
+
+// GenerateServer runs the server side for quantized weights W (m x n,
+// row-major int64). It returns U (m x o).
+func (s *ServerTriplets) GenerateServer(sh MatShape, W []int64, mode Mode) (*ring.Mat, error) {
+	if err := checkShape(sh, mode); err != nil {
+		return nil, err
+	}
+	if len(W) != sh.M*sh.N {
+		return nil, fmt.Errorf("core: W has %d elements, want %d", len(W), sh.M*sh.N)
+	}
+	choices, err := quant.DecomposeAll(s.params.Scheme, W)
+	if err != nil {
+		return nil, err
+	}
+	rg := s.params.Ring
+	gamma := s.params.Scheme.Gamma()
+	total := s.params.NumOTs(sh)
+	U := ring.NewMat(sh.M, sh.O)
+	elemBytes := rg.Bytes()
+	padBytes := sh.O * elemBytes
+
+	ot := 0
+	for ot < total {
+		chunk := total - ot
+		if chunk > chunkOTs {
+			chunk = chunkOTs
+		}
+		cs := make([]int, chunk)
+		for local := 0; local < chunk; local++ {
+			g := ot + local
+			cs[local] = choices[g/gamma][g%gamma]
+		}
+		blk, err := s.ot.Extend(cs)
+		if err != nil {
+			return nil, fmt.Errorf("core: server extend: %w", err)
+		}
+		payload, err := s.ot.Conn().Recv()
+		if err != nil {
+			return nil, fmt.Errorf("core: server recv payload: %w", err)
+		}
+		off := 0
+		for local := 0; local < chunk; local++ {
+			g := ot + local
+			i := g / (sh.N * gamma)
+			f := g % gamma
+			n := s.params.Scheme.FragmentN(f)
+			w := cs[local]
+			urow := U.Row(i)
+			switch mode {
+			case OneBatch:
+				ctBytes := (n - 1) * elemBytes
+				if off+ctBytes > len(payload) {
+					return nil, fmt.Errorf("core: payload truncated at OT %d", g)
+				}
+				if w == 0 {
+					// Output -s where s = pad(0); Value(0)*r = 0.
+					sPad := rg.FromBytesFull(blk.Pad(local, 8))
+					urow[0] = rg.Add(urow[0], rg.Neg(sPad))
+				} else {
+					ct := payload[off+(w-1)*elemBytes:][:elemBytes]
+					m := unxorRingElem(rg, ct, blk.Pad(local, elemBytes))
+					urow[0] = rg.Add(urow[0], m)
+				}
+				off += ctBytes
+			case NaiveN:
+				ctBytes := n * elemBytes
+				if off+ctBytes > len(payload) {
+					return nil, fmt.Errorf("core: payload truncated at OT %d", g)
+				}
+				ct := payload[off+w*elemBytes:][:elemBytes]
+				m := unxorRingElem(rg, ct, blk.Pad(local, elemBytes))
+				urow[0] = rg.Add(urow[0], m)
+				off += ctBytes
+			case MultiBatch:
+				ctBytes := n * padBytes
+				if off+ctBytes > len(payload) {
+					return nil, fmt.Errorf("core: payload truncated at OT %d", g)
+				}
+				ct := payload[off+w*padBytes:][:padBytes]
+				pad := blk.Pad(local, padBytes)
+				buf := make([]byte, padBytes)
+				prg.XORBytes(buf, ct, pad)
+				vec, _, err := rg.DecodeVec(buf, sh.O)
+				if err != nil {
+					return nil, fmt.Errorf("core: OT %d payload: %w", g, err)
+				}
+				rg.AddVecInPlace(urow, vec)
+				off += ctBytes
+			}
+		}
+		if off != len(payload) {
+			return nil, fmt.Errorf("core: %d trailing payload bytes", len(payload)-off)
+		}
+		ot += chunk
+	}
+	// U currently holds sum(Value*r - s); V holds sum(s): U + V = W*R.
+	return U, nil
+}
+
+func checkShape(sh MatShape, mode Mode) error {
+	if sh.M <= 0 || sh.N <= 0 || sh.O <= 0 {
+		return fmt.Errorf("core: invalid shape %+v", sh)
+	}
+	if (mode == OneBatch || mode == NaiveN) && sh.O != 1 {
+		return fmt.Errorf("core: %v mode requires o=1, got o=%d", mode, sh.O)
+	}
+	return nil
+}
+
+// xorRingElem returns the elemBytes-wide encoding of m XORed with pad.
+func xorRingElem(rg ring.Ring, m ring.Elem, pad []byte) []byte {
+	enc := rg.AppendElem(nil, m)
+	prg.XORBytes(enc, enc, pad[:len(enc)])
+	return enc
+}
+
+// unxorRingElem reverses xorRingElem.
+func unxorRingElem(rg ring.Ring, ct, pad []byte) ring.Elem {
+	buf := make([]byte, len(ct))
+	prg.XORBytes(buf, ct, pad[:len(ct)])
+	e, _, err := rg.DecodeElem(buf)
+	if err != nil {
+		// len(ct) is rg.Bytes() by construction; decoding cannot fail.
+		panic(err)
+	}
+	return e
+}

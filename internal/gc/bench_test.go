@@ -1,0 +1,45 @@
+package gc
+
+import (
+	"testing"
+
+	"abnn2/internal/prg"
+)
+
+func BenchmarkGarbleReLU256x32(b *testing.B) {
+	circ := BatchReLUCircuit(32, 256)
+	bits := make([]byte, circ.NumGarbler)
+	rng := prg.New(prg.SeedFromInt(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Garble(circ, bits, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(circ.NumAND()), "AND-gates")
+}
+
+func BenchmarkEvaluateReLU256x32(b *testing.B) {
+	circ := BatchReLUCircuit(32, 256)
+	bits := make([]byte, circ.NumGarbler)
+	g, err := Garble(circ, bits, prg.New(prg.SeedFromInt(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	evalLabels := make([]Label, circ.NumEvaluator)
+	for i := range evalLabels {
+		evalLabels[i] = g.EvalPairs[i][0]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(circ, g.Tables, g.GarblerLabels, evalLabels, g.Decode); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildReLUCircuit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = BatchReLUCircuit(32, 256)
+	}
+}

@@ -1,0 +1,149 @@
+package gc
+
+import (
+	"fmt"
+
+	"abnn2/internal/otext"
+	"abnn2/internal/prg"
+	"abnn2/internal/transport"
+)
+
+// Garbler drives the garbling side of the two-party GC protocol (the
+// client in ABNN2). It owns an OT-extension sender used to deliver the
+// evaluator's input labels. Not safe for concurrent use.
+type Garbler struct {
+	conn transport.Conn
+	ot   *otext.Sender
+	rng  *prg.PRG
+}
+
+// Evaluator drives the evaluating side (the server in ABNN2).
+type Evaluator struct {
+	conn transport.Conn
+	ot   *otext.Receiver
+}
+
+// NewGarbler sets up the garbling side, running base OTs for the label
+// transfers on conn.
+func NewGarbler(conn transport.Conn, session uint64, rng *prg.PRG) (*Garbler, error) {
+	ot, err := otext.NewSender(conn, otext.RepetitionCode(), session, rng)
+	if err != nil {
+		return nil, fmt.Errorf("gc: garbler OT setup: %w", err)
+	}
+	return &Garbler{conn: conn, ot: ot, rng: rng}, nil
+}
+
+// NewEvaluator sets up the evaluating side.
+func NewEvaluator(conn transport.Conn, session uint64, rng *prg.PRG) (*Evaluator, error) {
+	ot, err := otext.NewReceiver(conn, otext.RepetitionCode(), session, rng)
+	if err != nil {
+		return nil, fmt.Errorf("gc: evaluator OT setup: %w", err)
+	}
+	return &Evaluator{conn: conn, ot: ot}, nil
+}
+
+// Run garbles c under the garbler's input bits and sends everything the
+// evaluator needs in a single flight (after receiving the OT column
+// matrix). The protocol per invocation is two flights total:
+// evaluator -> garbler (OT columns), garbler -> evaluator (tables, labels,
+// decode bits, OT ciphertexts).
+func (g *Garbler) Run(c *Circuit, garblerBits []byte) error {
+	garbled, err := Garble(c, garblerBits, g.rng)
+	if err != nil {
+		return err
+	}
+	// OT extension round for the evaluator's input labels.
+	var blk *otext.SenderBlock
+	if c.NumEvaluator > 0 {
+		blk, err = g.ot.Extend(c.NumEvaluator)
+		if err != nil {
+			return fmt.Errorf("gc: label OT: %w", err)
+		}
+	}
+	msg := make([]byte, 0, len(garbled.Tables)+
+		c.NumGarbler*LabelSize+(len(c.Outputs)+7)/8+c.NumEvaluator*2*LabelSize)
+	msg = append(msg, garbled.Tables...)
+	for _, l := range garbled.GarblerLabels {
+		msg = append(msg, l[:]...)
+	}
+	msg = append(msg, packBits(garbled.Decode)...)
+	for i := 0; i < c.NumEvaluator; i++ {
+		var ct0, ct1 Label
+		pad0 := blk.Pad(i, 0, LabelSize)
+		pad1 := blk.Pad(i, 1, LabelSize)
+		prg.XORBytes(ct0[:], garbled.EvalPairs[i][0][:], pad0)
+		prg.XORBytes(ct1[:], garbled.EvalPairs[i][1][:], pad1)
+		msg = append(msg, ct0[:]...)
+		msg = append(msg, ct1[:]...)
+	}
+	if err := g.conn.Send(msg); err != nil {
+		return fmt.Errorf("gc: send garbled material: %w", err)
+	}
+	return nil
+}
+
+// Run evaluates c with the evaluator's input bits and returns the decoded
+// output bits.
+func (e *Evaluator) Run(c *Circuit, evalBits []byte) ([]byte, error) {
+	if len(evalBits) != c.NumEvaluator {
+		return nil, fmt.Errorf("gc: %d evaluator bits for %d wires", len(evalBits), c.NumEvaluator)
+	}
+	var blk *otext.ReceiverBlock
+	if c.NumEvaluator > 0 {
+		choices := make([]int, len(evalBits))
+		for i, b := range evalBits {
+			choices[i] = int(b & 1)
+		}
+		var err error
+		blk, err = e.ot.Extend(choices)
+		if err != nil {
+			return nil, fmt.Errorf("gc: label OT: %w", err)
+		}
+	}
+	msg, err := e.conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("gc: recv garbled material: %w", err)
+	}
+	tb := c.TableBytes()
+	decodeBytes := (len(c.Outputs) + 7) / 8
+	want := tb + c.NumGarbler*LabelSize + decodeBytes + c.NumEvaluator*2*LabelSize
+	if len(msg) != want {
+		return nil, fmt.Errorf("gc: garbled material is %d bytes, want %d", len(msg), want)
+	}
+	tables := msg[:tb]
+	off := tb
+	garblerLabels := make([]Label, c.NumGarbler)
+	for i := range garblerLabels {
+		copy(garblerLabels[i][:], msg[off:])
+		off += LabelSize
+	}
+	decode := unpackBits(msg[off:off+decodeBytes], len(c.Outputs))
+	off += decodeBytes
+	evalLabels := make([]Label, c.NumEvaluator)
+	for i := range evalLabels {
+		b := evalBits[i] & 1
+		ct := msg[off+int(b)*LabelSize : off+int(b)*LabelSize+LabelSize]
+		pad := blk.Pad(i, LabelSize)
+		prg.XORBytes(evalLabels[i][:], ct, pad)
+		off += 2 * LabelSize
+	}
+	return Evaluate(c, tables, garblerLabels, evalLabels, decode)
+}
+
+func packBits(bits []byte) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b&1 == 1 {
+			out[i/8] |= 1 << (uint(i) % 8)
+		}
+	}
+	return out
+}
+
+func unpackBits(b []byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = (b[i/8] >> (uint(i) % 8)) & 1
+	}
+	return out
+}

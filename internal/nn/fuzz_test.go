@@ -1,0 +1,49 @@
+package nn
+
+import (
+	"testing"
+
+	"abnn2/internal/quant"
+)
+
+// FuzzUnmarshalQuantized: arbitrary bytes must never panic the parser,
+// and anything accepted must survive a marshal/unmarshal round trip.
+func FuzzUnmarshalQuantized(f *testing.F) {
+	m := NewModel(3, 2)
+	qm := Quantize(m, quant.Uniform(2, 2), 4)
+	good, _ := MarshalQuantized(qm)
+	f.Add(good)
+	f.Add([]byte(`{"frac":8,"layers":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"frac":8,"layers":[{"in":1,"out":1,"w":[9],"b":[0],"scale":1,"scheme":"ternary"}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		qm, err := UnmarshalQuantized(data)
+		if err != nil {
+			return
+		}
+		re, err := MarshalQuantized(qm)
+		if err != nil {
+			t.Fatalf("accepted model failed to marshal: %v", err)
+		}
+		if _, err := UnmarshalQuantized(re); err != nil {
+			t.Fatalf("remarshalled model rejected: %v", err)
+		}
+	})
+}
+
+// FuzzUnmarshalModel: same contract for float models.
+func FuzzUnmarshalModel(f *testing.F) {
+	m := NewModel(3, 2)
+	good, _ := MarshalModel(m)
+	f.Add(good)
+	f.Add([]byte(`{"layers":[{"in":2,"out":1,"w":[1,2],"b":[0],"relu":true}]}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalModel(data)
+		if err != nil {
+			return
+		}
+		x := make([]float64, m.Layers[0].In)
+		_ = m.Forward(x) // must not panic on accepted models
+	})
+}

@@ -1,0 +1,86 @@
+package otext
+
+import (
+	"sync"
+	"testing"
+
+	"abnn2/internal/prg"
+	"abnn2/internal/transport"
+)
+
+// benchPair builds a connected sender/receiver without testing.T.
+func benchPair(b *testing.B, code Code) (*Sender, *Receiver, func()) {
+	b.Helper()
+	ca, cb := transport.Pipe()
+	var (
+		snd *Sender
+		err error
+		wg  sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		snd, err = NewSender(ca, code, 7, prg.New(prg.SeedFromInt(1)))
+	}()
+	rcv, rerr := NewReceiver(cb, code, 7, prg.New(prg.SeedFromInt(2)))
+	wg.Wait()
+	if err != nil || rerr != nil {
+		b.Fatalf("setup: %v %v", err, rerr)
+	}
+	return snd, rcv, func() { ca.Close() }
+}
+
+func benchExtend(b *testing.B, code Code, m int) {
+	snd, rcv, done := benchPair(b, code)
+	defer done()
+	choices := make([]int, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := snd.Extend(m); err != nil {
+				b.Error(err)
+			}
+		}()
+		if _, err := rcv.Extend(choices); err != nil {
+			b.Fatal(err)
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(m)*float64(b.N), "OTs-total")
+}
+
+func BenchmarkExtendIKNP4096(b *testing.B)  { benchExtend(b, RepetitionCode(), 4096) }
+func BenchmarkExtendKK13x4096(b *testing.B) { benchExtend(b, WalshHadamardCode(16), 4096) }
+
+func BenchmarkPadDerivation(b *testing.B) {
+	snd, rcv, done := benchPair(b, WalshHadamardCode(16))
+	defer done()
+	const m = 1024
+	var (
+		sb *SenderBlock
+		wg sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sb, _ = snd.Extend(m)
+	}()
+	if _, err := rcv.Extend(make([]int, m)); err != nil {
+		b.Fatal(err)
+	}
+	wg.Wait()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sb.Pad(i%m, i%16, 64)
+	}
+}
+
+func BenchmarkBaseOTSetup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, done := benchPair(b, RepetitionCode())
+		done()
+	}
+}

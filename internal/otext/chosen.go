@@ -1,0 +1,189 @@
+package otext
+
+import (
+	"fmt"
+
+	"abnn2/internal/baseot"
+	"abnn2/internal/prg"
+	"abnn2/internal/ring"
+	"abnn2/internal/transport"
+)
+
+// baseOTReceive and baseOTSend adapt internal/baseot to seed slices.
+
+func baseOTReceive(conn transport.Conn, choices []byte, rng *prg.PRG) ([]prg.Seed, error) {
+	msgs, err := baseot.Receive(conn, choices, rng)
+	if err != nil {
+		return nil, err
+	}
+	seeds := make([]prg.Seed, len(msgs))
+	for i, m := range msgs {
+		seeds[i] = prg.Seed(m)
+	}
+	return seeds, nil
+}
+
+func baseOTSend(conn transport.Conn, pairs [][2][16]byte, rng *prg.PRG) error {
+	bp := make([][2]baseot.Msg, len(pairs))
+	for i := range pairs {
+		bp[i][0] = baseot.Msg(pairs[i][0])
+		bp[i][1] = baseot.Msg(pairs[i][1])
+	}
+	return baseot.Send(conn, bp, rng)
+}
+
+// SendChosen transfers chosen messages: msgs[j][v] is delivered for OT j
+// if the receiver chose v. All messages must have length msgLen. One
+// flight of m * N * msgLen bytes.
+func (s *Sender) SendChosen(msgs [][][]byte, msgLen int) error {
+	m := len(msgs)
+	blk, err := s.Extend(m)
+	if err != nil {
+		return err
+	}
+	n := s.code.N()
+	out := make([]byte, 0, m*n*msgLen)
+	for j := 0; j < m; j++ {
+		if len(msgs[j]) != n {
+			return fmt.Errorf("otext: OT %d has %d messages, want %d", j, len(msgs[j]), n)
+		}
+		for v := 0; v < n; v++ {
+			if len(msgs[j][v]) != msgLen {
+				return fmt.Errorf("otext: OT %d message %d has %d bytes, want %d", j, v, len(msgs[j][v]), msgLen)
+			}
+			pad := blk.Pad(j, v, msgLen)
+			ct := make([]byte, msgLen)
+			prg.XORBytes(ct, msgs[j][v], pad)
+			out = append(out, ct...)
+		}
+	}
+	return s.conn.Send(out)
+}
+
+// RecvChosen receives the chosen message of length msgLen for each OT.
+func (r *Receiver) RecvChosen(choices []int, msgLen int) ([][]byte, error) {
+	blk, err := r.Extend(choices)
+	if err != nil {
+		return nil, err
+	}
+	n := r.code.N()
+	m := len(choices)
+	cts, err := r.conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("otext: recv ciphertexts: %w", err)
+	}
+	if len(cts) != m*n*msgLen {
+		return nil, fmt.Errorf("otext: ciphertexts are %d bytes, want %d", len(cts), m*n*msgLen)
+	}
+	out := make([][]byte, m)
+	for j := 0; j < m; j++ {
+		ct := cts[(j*n+choices[j])*msgLen:][:msgLen]
+		pad := blk.Pad(j, msgLen)
+		msg := make([]byte, msgLen)
+		prg.XORBytes(msg, ct, pad)
+		out[j] = msg
+	}
+	return out, nil
+}
+
+// SendCorrelatedRing runs m correlated OTs over ring elements, the gadget
+// used by the SecureML baseline and by QUOTIENT-style binary
+// multiplication. For OT j the sender learns a random x0_j (derived from
+// its pad) and the receiver obtains x0_j + deltas[j] if its choice bit is
+// 1, or x0_j if 0. Only one correction element per OT crosses the wire,
+// so the payload is m*l bits on top of the column matrix.
+//
+// The code must be the repetition code (N = 2).
+func (s *Sender) SendCorrelatedRing(rg ring.Ring, deltas ring.Vec) (x0 ring.Vec, err error) {
+	if s.code.N() != 2 {
+		return nil, fmt.Errorf("otext: correlated OT requires a 1-out-of-2 code")
+	}
+	m := len(deltas)
+	blk, err := s.Extend(m)
+	if err != nil {
+		return nil, err
+	}
+	x0 = make(ring.Vec, m)
+	buf := make([]byte, 0, rg.VecBytes(m))
+	for j := 0; j < m; j++ {
+		p0 := rg.FromBytesFull(blk.Pad(j, 0, 8))
+		p1 := rg.FromBytesFull(blk.Pad(j, 1, 8))
+		x0[j] = p0
+		// Correction: c = x0 + delta - p1; a choice-1 receiver computes
+		// p1 + c = x0 + delta.
+		c := rg.Sub(rg.Add(p0, deltas[j]), p1)
+		buf = rg.AppendElem(buf, c)
+	}
+	if err := s.conn.Send(buf); err != nil {
+		return nil, fmt.Errorf("otext: send corrections: %w", err)
+	}
+	return x0, nil
+}
+
+// RecvCorrelatedRing is the receiver side of SendCorrelatedRing: for each
+// choice bit b_j it returns x0_j + b_j * delta_j.
+func (r *Receiver) RecvCorrelatedRing(rg ring.Ring, choiceBits []byte) (ring.Vec, error) {
+	if r.code.N() != 2 {
+		return nil, fmt.Errorf("otext: correlated OT requires a 1-out-of-2 code")
+	}
+	m := len(choiceBits)
+	choices := make([]int, m)
+	for j, b := range choiceBits {
+		choices[j] = int(b & 1)
+	}
+	blk, err := r.Extend(choices)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := r.conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("otext: recv corrections: %w", err)
+	}
+	out := make(ring.Vec, m)
+	for j := 0; j < m; j++ {
+		var c ring.Elem
+		c, raw, err = rg.DecodeElem(raw)
+		if err != nil {
+			return nil, fmt.Errorf("otext: correction %d: %w", j, err)
+		}
+		p := rg.FromBytesFull(blk.Pad(j, 8))
+		if choices[j] == 1 {
+			out[j] = rg.Add(p, c)
+		} else {
+			out[j] = p
+		}
+	}
+	return out, nil
+}
+
+// SendRandom returns pads usable as m random OTs without any payload
+// flight: the sender learns all N pads per OT, the receiver (via
+// RecvRandom) learns the pad of its choice. nbytes is the pad width.
+func (s *Sender) SendRandom(m, nbytes int) ([][][]byte, error) {
+	blk, err := s.Extend(m)
+	if err != nil {
+		return nil, err
+	}
+	n := s.code.N()
+	out := make([][][]byte, m)
+	for j := 0; j < m; j++ {
+		out[j] = make([][]byte, n)
+		for v := 0; v < n; v++ {
+			out[j][v] = blk.Pad(j, v, nbytes)
+		}
+	}
+	return out, nil
+}
+
+// RecvRandom is the receiver side of SendRandom.
+func (r *Receiver) RecvRandom(choices []int, nbytes int) ([][]byte, error) {
+	blk, err := r.Extend(choices)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(choices))
+	for j := range choices {
+		out[j] = blk.Pad(j, nbytes)
+	}
+	return out, nil
+}

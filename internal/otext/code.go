@@ -1,0 +1,111 @@
+// Package otext implements IKNP-style oblivious-transfer extension and its
+// 1-out-of-N generalisation by Kolesnikov and Kumaresan (KK13), the
+// workhorse primitive of ABNN2's multiplication protocols (paper
+// section 2.3 and Figure 1).
+//
+// A single generalised core covers both: the receiver's choice is encoded
+// by a binary code C, the sender holds a random string s of the code
+// width, and after the extension round the sender can derive a pad for
+// every possible choice value v as H(q_j XOR (C(v) AND s)) while the
+// receiver can derive only the pad for its actual choice. Instantiating C
+// as the repetition code of width kappa = 128 yields IKNP 1-out-of-2 OT;
+// instantiating it as the Walsh-Hadamard code of width 2*kappa = 256
+// yields KK13 1-out-of-N OT for N up to 256, which is the "2*kappa" term
+// in the communication formulas of the paper's Table 1.
+package otext
+
+import "fmt"
+
+// Kappa is the computational security parameter in bits.
+const Kappa = 128
+
+// Code encodes receiver choices as fixed-width binary codewords. Codes
+// must have minimum distance >= Kappa so that for any two distinct
+// choices at least Kappa bits of the sender secret s remain hidden in the
+// receiver's view.
+type Code interface {
+	// N is the number of encodable choices.
+	N() int
+	// WidthBits is the codeword length in bits (a multiple of 64).
+	WidthBits() int
+	// Encode writes the codeword for choice (in [0, N)) into dst, which
+	// has WidthBits()/8 bytes.
+	Encode(choice int, dst []byte)
+}
+
+// repetitionCode is the IKNP code: C(0) = 0^128, C(1) = 1^128.
+// Distance 128 = Kappa.
+type repetitionCode struct{}
+
+func (repetitionCode) N() int         { return 2 }
+func (repetitionCode) WidthBits() int { return Kappa }
+func (repetitionCode) Encode(choice int, dst []byte) {
+	var fill byte
+	if choice&1 == 1 {
+		fill = 0xFF
+	}
+	for i := range dst {
+		dst[i] = fill
+	}
+}
+
+// RepetitionCode returns the IKNP 1-out-of-2 code of width kappa.
+func RepetitionCode() Code { return repetitionCode{} }
+
+// whCode is the Walsh-Hadamard code over 8-bit messages: codeword bit x
+// (x ranging over all 256 byte values) is the parity of choice AND x.
+// Length 256 = 2*Kappa, minimum distance 128 = Kappa (it is a constant
+// weight-128 code except for the zero word). Supports N <= 256.
+// Codewords are precomputed once: Encode sits on the per-pad hot path of
+// the OT extension.
+type whCode struct{ n int }
+
+var whTable = func() *[256][32]byte {
+	var t [256][32]byte
+	for w := 0; w < 256; w++ {
+		for bytePos := 0; bytePos < 32; bytePos++ {
+			var b byte
+			for bit := 0; bit < 8; bit++ {
+				x := byte(bytePos*8 + bit)
+				b |= parity8(byte(w)&x) << uint(bit)
+			}
+			t[w][bytePos] = b
+		}
+	}
+	return &t
+}()
+
+// WalshHadamardCode returns the KK13 code for 1-out-of-n OT, n in [2,256].
+func WalshHadamardCode(n int) Code {
+	if n < 2 || n > 256 {
+		panic(fmt.Sprintf("otext: Walsh-Hadamard code supports N in [2,256], got %d", n))
+	}
+	return whCode{n: n}
+}
+
+func (c whCode) N() int         { return c.n }
+func (c whCode) WidthBits() int { return 2 * Kappa }
+
+func (c whCode) Encode(choice int, dst []byte) {
+	if choice < 0 || choice >= c.n {
+		panic(fmt.Sprintf("otext: choice %d out of range [0,%d)", choice, c.n))
+	}
+	copy(dst, whTable[choice][:])
+}
+
+// parity8 returns the parity (XOR of bits) of v.
+func parity8(v byte) byte {
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v & 1
+}
+
+// CodeFor returns the cheapest code supporting n choices: the repetition
+// code for n = 2 (half the column traffic) and Walsh-Hadamard otherwise.
+func CodeFor(n int) Code {
+	if n == 2 {
+		return RepetitionCode()
+	}
+	return WalshHadamardCode(n)
+}

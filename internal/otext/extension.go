@@ -1,0 +1,238 @@
+package otext
+
+import (
+	"fmt"
+
+	"abnn2/internal/bitmat"
+	"abnn2/internal/prg"
+	"abnn2/internal/transport"
+)
+
+var oracle = prg.NewFastOracle("otext/pad")
+
+// Sender is the OT-extension sender: the party that, after each Extend
+// round, can derive the pad for every candidate choice value. In ABNN2's
+// multiplication protocol the *client* (holding the random share r) plays
+// this role. A Sender is bound to one connection and one code and must be
+// paired with exactly one Receiver performing the same sequence of calls.
+// Not safe for concurrent use.
+type Sender struct {
+	conn    transport.Conn
+	code    Code
+	session uint64
+	s       []byte // secret column-selection bits, WidthBits/8 bytes
+	cols    []*prg.PRG
+	counter uint64
+}
+
+// Receiver is the OT-extension receiver: the party whose per-OT choice
+// selects which pad it learns. In ABNN2 the *server* (holding quantized
+// weight fragments) plays this role.
+type Receiver struct {
+	conn    transport.Conn
+	code    Code
+	session uint64
+	cols0   []*prg.PRG
+	cols1   []*prg.PRG
+	counter uint64
+}
+
+// NewSender performs the base-OT setup for the sending role. It samples
+// the secret s and receives one seed per code column via base OT (the
+// extension sender is the base-OT receiver, per IKNP). rng supplies all
+// local randomness.
+func NewSender(conn transport.Conn, code Code, session uint64, rng *prg.PRG) (*Sender, error) {
+	w := code.WidthBits()
+	s := rng.Bytes(w / 8)
+	choices := make([]byte, w)
+	for i := 0; i < w; i++ {
+		choices[i] = (s[i/8] >> (uint(i) % 8)) & 1
+	}
+	seeds, err := baseOTReceive(conn, choices, rng)
+	if err != nil {
+		return nil, fmt.Errorf("otext: sender setup: %w", err)
+	}
+	cols := make([]*prg.PRG, w)
+	for i := range cols {
+		cols[i] = prg.New(seeds[i])
+	}
+	return &Sender{conn: conn, code: code, session: session, s: s, cols: cols}, nil
+}
+
+// NewReceiver performs the base-OT setup for the receiving role, sending
+// one seed pair per code column.
+func NewReceiver(conn transport.Conn, code Code, session uint64, rng *prg.PRG) (*Receiver, error) {
+	w := code.WidthBits()
+	pairs := make([][2][16]byte, w)
+	cols0 := make([]*prg.PRG, w)
+	cols1 := make([]*prg.PRG, w)
+	for i := 0; i < w; i++ {
+		var s0, s1 prg.Seed
+		copy(s0[:], rng.Bytes(prg.SeedSize))
+		copy(s1[:], rng.Bytes(prg.SeedSize))
+		pairs[i][0] = s0
+		pairs[i][1] = s1
+		cols0[i] = prg.New(s0)
+		cols1[i] = prg.New(s1)
+	}
+	if err := baseOTSend(conn, pairs, rng); err != nil {
+		return nil, fmt.Errorf("otext: receiver setup: %w", err)
+	}
+	return &Receiver{conn: conn, code: code, session: session, cols0: cols0, cols1: cols1}, nil
+}
+
+// SenderBlock holds the sender's state for one Extend round of m OTs: the
+// rows q_j from which pads for any choice value are derived.
+type SenderBlock struct {
+	s       *Sender
+	q       *bitmat.Matrix // m_pad x w
+	base    uint64         // counter value of OT 0 in this block
+	m       int
+	scratch []byte // codeword buffer (hot path, reused)
+	masked  []byte // masked-row buffer (hot path, reused)
+}
+
+// ReceiverBlock holds the receiver's state for one Extend round: rows t_j
+// yielding the pad for the choice made at each index.
+type ReceiverBlock struct {
+	r       *Receiver
+	t       *bitmat.Matrix // m_pad x w
+	base    uint64
+	m       int
+	choices []int
+}
+
+// Extend runs one extension round for m OTs from the receiver side with
+// the given per-OT choices (each in [0, code.N())). It transmits the
+// masked column matrix to the sender (one flight of m_pad * WidthBits
+// bits) and returns the block from which pads are derived.
+func (r *Receiver) Extend(choices []int) (*ReceiverBlock, error) {
+	m := len(choices)
+	if m == 0 {
+		return nil, fmt.Errorf("otext: Extend with zero OTs")
+	}
+	w := r.code.WidthBits()
+	mPad := (m + 7) &^ 7
+	mBytes := mPad / 8
+
+	// Code matrix: row j = C(choices[j]); padding rows use choice 0.
+	codeRows := bitmat.New(mPad, w)
+	for j := 0; j < mPad; j++ {
+		c := 0
+		if j < m {
+			c = choices[j]
+			if c < 0 || c >= r.code.N() {
+				return nil, fmt.Errorf("otext: choice %d out of range [0,%d)", c, r.code.N())
+			}
+		}
+		r.code.Encode(c, codeRows.Row(j))
+	}
+	codeCols := bitmat.Transpose(codeRows) // w x mPad
+
+	// Column streams: t_i from seed0, u_i = t_i XOR PRG1_i XOR c_i.
+	tCols := bitmat.New(w, mPad)
+	u := make([]byte, w*mBytes)
+	tmp := make([]byte, mBytes)
+	for i := 0; i < w; i++ {
+		ti := tCols.Row(i)
+		r.cols0[i].Fill(ti)
+		ui := u[i*mBytes : (i+1)*mBytes]
+		r.cols1[i].Fill(tmp)
+		ci := codeCols.Row(i)
+		for k := 0; k < mBytes; k++ {
+			ui[k] = ti[k] ^ tmp[k] ^ ci[k]
+		}
+	}
+	if err := r.conn.Send(u); err != nil {
+		return nil, fmt.Errorf("otext: send u matrix: %w", err)
+	}
+	blk := &ReceiverBlock{
+		r:       r,
+		t:       bitmat.Transpose(tCols), // mPad x w
+		base:    r.counter,
+		m:       m,
+		choices: choices,
+	}
+	r.counter += uint64(mPad)
+	return blk, nil
+}
+
+// Extend runs one extension round for m OTs from the sender side,
+// consuming the receiver's masked column matrix.
+func (s *Sender) Extend(m int) (*SenderBlock, error) {
+	if m == 0 {
+		return nil, fmt.Errorf("otext: Extend with zero OTs")
+	}
+	w := s.code.WidthBits()
+	mPad := (m + 7) &^ 7
+	mBytes := mPad / 8
+	u, err := s.conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("otext: recv u matrix: %w", err)
+	}
+	if len(u) != w*mBytes {
+		return nil, fmt.Errorf("otext: u matrix is %d bytes, want %d", len(u), w*mBytes)
+	}
+	qCols := bitmat.New(w, mPad)
+	for i := 0; i < w; i++ {
+		qi := qCols.Row(i)
+		s.cols[i].Fill(qi)
+		if (s.s[i/8]>>(uint(i)%8))&1 == 1 {
+			ui := u[i*mBytes : (i+1)*mBytes]
+			for k := 0; k < mBytes; k++ {
+				qi[k] ^= ui[k]
+			}
+		}
+	}
+	blk := &SenderBlock{
+		s:       s,
+		q:       bitmat.Transpose(qCols),
+		base:    s.counter,
+		m:       m,
+		scratch: make([]byte, w/8),
+	}
+	s.counter += uint64(mPad)
+	return blk, nil
+}
+
+// Conn exposes the underlying connection so protocols layered on the pads
+// can send their payload flights on the same channel.
+func (s *Sender) Conn() transport.Conn { return s.conn }
+
+// Conn exposes the underlying connection (see Sender.Conn).
+func (r *Receiver) Conn() transport.Conn { return r.conn }
+
+// Count returns the number of OTs in the block.
+func (b *SenderBlock) Count() int   { return b.m }
+func (b *ReceiverBlock) Count() int { return b.m }
+
+// Pad returns nbytes of pad material for OT index j and candidate choice
+// value v: H(session, counter_j, q_j XOR (C(v) AND s)). The receiver can
+// compute the same bytes only for v equal to its choice at j.
+func (b *SenderBlock) Pad(j, v int, nbytes int) []byte {
+	if j < 0 || j >= b.m {
+		panic(fmt.Sprintf("otext: pad index %d out of range [0,%d)", j, b.m))
+	}
+	row := b.q.Row(j)
+	b.s.code.Encode(v, b.scratch)
+	if b.masked == nil {
+		b.masked = make([]byte, len(row))
+	}
+	sbits := b.s.s
+	for k := range row {
+		b.masked[k] = row[k] ^ (b.scratch[k] & sbits[k])
+	}
+	return oracle.Hash(b.s.session, b.base+uint64(j), 0, b.masked, nbytes)
+}
+
+// Pad returns nbytes of pad material for OT index j, valid for the choice
+// the receiver made at that index: H(session, counter_j, t_j).
+func (b *ReceiverBlock) Pad(j, nbytes int) []byte {
+	if j < 0 || j >= b.m {
+		panic(fmt.Sprintf("otext: pad index %d out of range [0,%d)", j, b.m))
+	}
+	return oracle.Hash(b.r.session, b.base+uint64(j), 0, b.t.Row(j), nbytes)
+}
+
+// Choice returns the receiver's choice at index j.
+func (b *ReceiverBlock) Choice(j int) int { return b.choices[j] }

@@ -1,0 +1,55 @@
+package paillier
+
+import (
+	"math/big"
+	"testing"
+
+	"abnn2/internal/prg"
+)
+
+func BenchmarkEncrypt1024(b *testing.B) {
+	sk, err := GenerateKey(prg.New(prg.SeedFromInt(1)), 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := prg.New(prg.SeedFromInt(2))
+	m := big.NewInt(123456789)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.PublicKey.Encrypt(rng, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecrypt1024(b *testing.B) {
+	sk, err := GenerateKey(prg.New(prg.SeedFromInt(3)), 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := sk.PublicKey.Encrypt(prg.New(prg.SeedFromInt(4)), big.NewInt(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sk.Decrypt(ct)
+	}
+}
+
+func BenchmarkMulConstSmallExp(b *testing.B) {
+	sk, err := GenerateKey(prg.New(prg.SeedFromInt(5)), 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pk := &sk.PublicKey
+	ct, err := pk.Encrypt(prg.New(prg.SeedFromInt(6)), big.NewInt(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := big.NewInt(-117)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pk.MulConst(ct, k)
+	}
+}

@@ -1,0 +1,32 @@
+package prg
+
+import "testing"
+
+func BenchmarkPRGFill4KiB(b *testing.B) {
+	g := New(SeedFromInt(1))
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Fill(buf)
+	}
+}
+
+func BenchmarkOracleBlock(b *testing.B) {
+	o := NewOracle("bench")
+	data := make([]byte, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Block(1, uint64(i), 0, data)
+	}
+}
+
+func BenchmarkOracleHash512(b *testing.B) {
+	o := NewOracle("bench")
+	data := make([]byte, 32)
+	b.SetBytes(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Hash(1, uint64(i), 0, data, 512)
+	}
+}

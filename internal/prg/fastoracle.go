@@ -1,0 +1,105 @@
+package prg
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// FastOracle is a fixed-key-AES instantiation of the random oracle used
+// on the protocols' hot paths (OT-extension pads, where millions of
+// evaluations dominate runtime). Modern MPC implementations (JustGarble,
+// emp-toolkit, ABY) model a random oracle with a fixed-key AES
+// permutation for exactly this reason; with AES-NI one evaluation is an
+// order of magnitude cheaper than SHA-256.
+//
+// Construction (pi = AES-128 with a per-oracle fixed key derived from the
+// domain label):
+//
+//	absorb:  h <- pi(h XOR b) XOR h XOR b        (Miyaguchi-Preneel style)
+//	         over header block (session, index, tweak) then data blocks,
+//	         finalised with a length block
+//	expand:  out_i = pi(h XOR tau_i) XOR h       (Even-Mansour style)
+//
+// where tau_i are distinct counter blocks tagged with a domain byte so
+// absorption and expansion queries cannot collide. This is the standard
+// heuristic instantiation; see DESIGN.md for the security model note.
+type FastOracle struct {
+	block   cipher.Block
+	scratch sync.Pool // *oracleScratch
+}
+
+// oracleScratch holds the per-call buffers. Without it every Encrypt call
+// through the cipher.Block interface would heap-allocate its operands
+// (escape analysis cannot see through the interface), dominating the
+// OT-extension hot path.
+type oracleScratch struct {
+	h, b, x, e [16]byte
+}
+
+// NewFastOracle derives the fixed AES key from the domain label.
+func NewFastOracle(label string) *FastOracle {
+	sum := sha256.Sum256([]byte("abnn2/fastoracle/" + label))
+	blk, err := aes.NewCipher(sum[:16])
+	if err != nil {
+		panic(fmt.Sprintf("prg: %v", err)) // impossible: key length is fixed
+	}
+	return &FastOracle{block: blk}
+}
+
+// Hash returns n oracle bytes for the query (session, index, tweak, data).
+func (o *FastOracle) Hash(session, index, tweak uint64, data []byte, n int) []byte {
+	s, _ := o.scratch.Get().(*oracleScratch)
+	if s == nil {
+		s = new(oracleScratch)
+	}
+	for i := range s.h {
+		s.h[i] = 0
+	}
+	// Header blocks.
+	binary.LittleEndian.PutUint64(s.b[0:], session)
+	binary.LittleEndian.PutUint64(s.b[8:], index)
+	o.absorb(s)
+	binary.LittleEndian.PutUint64(s.b[0:], tweak)
+	binary.LittleEndian.PutUint64(s.b[8:], uint64(len(data)))
+	o.absorb(s)
+	// Data blocks, zero-padded.
+	for off := 0; off+16 <= len(data); off += 16 {
+		copy(s.b[:], data[off:off+16])
+		o.absorb(s)
+	}
+	if tail := len(data) % 16; tail != 0 {
+		for i := range s.b {
+			s.b[i] = 0
+		}
+		copy(s.b[:], data[len(data)-tail:])
+		o.absorb(s)
+	}
+	// Finalisation block (domain-separates absorb from expand).
+	for i := range s.b {
+		s.b[i] = 0
+	}
+	s.b[15] = 0xA5
+	o.absorb(s)
+	// Expand.
+	out := make([]byte, (n+15)&^15)
+	for i := 0; i*16 < n; i++ {
+		binary.LittleEndian.PutUint64(s.x[0:], uint64(i)^binary.LittleEndian.Uint64(s.h[0:8]))
+		binary.LittleEndian.PutUint64(s.x[8:], binary.LittleEndian.Uint64(s.h[8:16]))
+		s.x[15] ^= 0xEE
+		o.block.Encrypt(s.e[:], s.x[:])
+		XORBytes(out[i*16:(i+1)*16], s.e[:], s.h[:])
+	}
+	o.scratch.Put(s)
+	return out[:n]
+}
+
+// absorb updates h <- pi(h XOR b) XOR h XOR b, consuming s.b.
+func (o *FastOracle) absorb(s *oracleScratch) {
+	XORBytes(s.x[:], s.h[:], s.b[:])
+	o.block.Encrypt(s.e[:], s.x[:])
+	XORBytes(s.h[:], s.e[:], s.x[:])
+}

@@ -1,0 +1,49 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkDot1024(b *testing.B) {
+	r := New(64)
+	rng := rand.New(rand.NewSource(1))
+	x, y := randVec(rng, r, 1024), randVec(rng, r, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Dot(x, y)
+	}
+}
+
+func BenchmarkMulVec128x784(b *testing.B) {
+	r := New(32)
+	rng := rand.New(rand.NewSource(2))
+	m := randMat(rng, r, 128, 784)
+	x := randVec(rng, r, 784)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.MulVec(m, x)
+	}
+}
+
+func BenchmarkMulMat128x784x16(b *testing.B) {
+	r := New(32)
+	rng := rand.New(rand.NewSource(3))
+	m := randMat(rng, r, 128, 784)
+	x := randMat(rng, r, 784, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.MulMat(m, x)
+	}
+}
+
+func BenchmarkEncodeVec1024(b *testing.B) {
+	r := New(32)
+	rng := rand.New(rand.NewSource(4))
+	v := randVec(rng, r, 1024)
+	buf := make([]byte, 0, r.VecBytes(1024))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = r.AppendVec(buf[:0], v)
+	}
+}

@@ -1,0 +1,30 @@
+package ring
+
+import "testing"
+
+// FuzzDecodeVec: arbitrary wire bytes must never panic and must
+// round-trip when re-encoded.
+func FuzzDecodeVec(f *testing.F) {
+	r := New(24)
+	f.Add(r.AppendVec(nil, Vec{1, 2, 3}), 3)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{1, 2}, 5)
+	f.Fuzz(func(t *testing.T, data []byte, count int) {
+		if count < 0 || count > 1<<16 {
+			return
+		}
+		v, rest, err := r.DecodeVec(data, count)
+		if err != nil {
+			return
+		}
+		if len(rest)+r.VecBytes(count) != len(data) {
+			t.Fatalf("consumed %d of %d bytes for %d elements", len(data)-len(rest), len(data), count)
+		}
+		re := r.AppendVec(nil, v)
+		for i := 0; i < r.VecBytes(count); i++ {
+			if re[i] != data[i] {
+				t.Fatalf("re-encode differs at byte %d", i)
+			}
+		}
+	})
+}

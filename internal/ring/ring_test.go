@@ -1,0 +1,162 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadWidth(t *testing.T) {
+	for _, bits := range []uint{0, 65, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", bits)
+				}
+			}()
+			New(bits)
+		}()
+	}
+}
+
+func TestMaskAndBytes(t *testing.T) {
+	cases := []struct {
+		bits  uint
+		mask  uint64
+		bytes int
+	}{
+		{1, 1, 1},
+		{8, 0xff, 1},
+		{12, 0xfff, 2},
+		{32, 0xffffffff, 4},
+		{63, (1 << 63) - 1, 8},
+		{64, ^uint64(0), 8},
+	}
+	for _, c := range cases {
+		r := New(c.bits)
+		if r.Mask() != c.mask {
+			t.Errorf("bits=%d mask=%x want %x", c.bits, r.Mask(), c.mask)
+		}
+		if r.Bytes() != c.bytes {
+			t.Errorf("bits=%d bytes=%d want %d", c.bits, r.Bytes(), c.bytes)
+		}
+	}
+}
+
+func TestArithmeticIdentities32(t *testing.T) {
+	r := New(32)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a, b := rng.Uint64()&r.Mask(), rng.Uint64()&r.Mask()
+		if got := r.Add(a, r.Neg(a)); got != 0 {
+			t.Fatalf("a + (-a) = %d, want 0", got)
+		}
+		if r.Sub(r.Add(a, b), b) != a {
+			t.Fatalf("(a+b)-b != a")
+		}
+		if r.Add(a, b) != r.Add(b, a) {
+			t.Fatalf("add not commutative")
+		}
+		if r.Mul(a, b) != r.Mul(b, a) {
+			t.Fatalf("mul not commutative")
+		}
+	}
+}
+
+func TestSignedRoundTrip(t *testing.T) {
+	for _, bits := range []uint{8, 16, 32, 53, 64} {
+		r := New(bits)
+		half := int64(1) << (bits - 1)
+		vals := []int64{0, 1, -1, half - 1, -half, 7, -42}
+		for _, v := range vals {
+			if got := r.Signed(r.FromSigned(v)); got != v {
+				t.Errorf("bits=%d roundtrip(%d) = %d", bits, v, got)
+			}
+		}
+	}
+}
+
+func TestIsNegative(t *testing.T) {
+	r := New(16)
+	if r.IsNegative(r.FromSigned(5)) {
+		t.Error("5 reported negative")
+	}
+	if !r.IsNegative(r.FromSigned(-5)) {
+		t.Error("-5 reported non-negative")
+	}
+	if r.IsNegative(0) {
+		t.Error("0 reported negative")
+	}
+	// Boundary: -2^15 is negative, 2^15-1 is not.
+	if !r.IsNegative(r.FromSigned(-32768)) {
+		t.Error("-2^15 reported non-negative")
+	}
+	if r.IsNegative(r.FromSigned(32767)) {
+		t.Error("2^15-1 reported negative")
+	}
+}
+
+func TestFixedPointRoundTrip(t *testing.T) {
+	fp := NewFixedPoint(New(32), 12)
+	for _, v := range []float64{0, 1, -1, 3.14159, -2.71828, 100.5, -0.000244140625} {
+		got := fp.Decode(fp.Encode(v))
+		if diff := got - v; diff > 1.0/4096 || diff < -1.0/4096 {
+			t.Errorf("fixed point roundtrip(%v) = %v", v, got)
+		}
+	}
+}
+
+func TestFixedPointMaxAbs(t *testing.T) {
+	fp := NewFixedPoint(New(16), 8)
+	if fp.MaxAbs() != 128 {
+		t.Errorf("MaxAbs = %v, want 128", fp.MaxAbs())
+	}
+}
+
+func TestNewFixedPointPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFixedPoint with frac >= bits did not panic")
+		}
+	}()
+	NewFixedPoint(New(8), 8)
+}
+
+// Property: addition in the ring matches uint64 addition reduced mod 2^l.
+func TestAddMatchesModularProperty(t *testing.T) {
+	r := New(24)
+	f := func(a, b uint64) bool {
+		return r.Add(r.Reduce(a), r.Reduce(b)) == (a+b)&r.Mask()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mul distributes over Add.
+func TestDistributivityProperty(t *testing.T) {
+	r := New(40)
+	f := func(a, b, c uint64) bool {
+		a, b, c = r.Reduce(a), r.Reduce(b), r.Reduce(c)
+		return r.Mul(a, r.Add(b, c)) == r.Add(r.Mul(a, b), r.Mul(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: signed decode of x plus signed decode of -x is 0 unless
+// x = -2^(l-1) (the asymmetric two's-complement point).
+func TestSignedNegationProperty(t *testing.T) {
+	r := New(32)
+	f := func(x uint64) bool {
+		x = r.Reduce(x)
+		if x == 1<<31 {
+			return true
+		}
+		return r.Signed(x)+r.Signed(r.Neg(x)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

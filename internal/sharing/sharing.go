@@ -1,0 +1,47 @@
+// Package sharing implements two-party additive secret sharing over
+// Z_{2^l} (paper section 2.3, "Arithmetic sharing"): a value x is split
+// into shares x0 = r, x1 = x - r for uniform r, so that x0 + x1 = x
+// mod 2^l and either share alone is uniformly distributed.
+package sharing
+
+import (
+	"abnn2/internal/prg"
+	"abnn2/internal/ring"
+)
+
+// Share splits x into two additive shares using randomness from rng.
+// The first share is uniform; the second is x minus it.
+func Share(r ring.Ring, x ring.Elem, rng *prg.PRG) (s0, s1 ring.Elem) {
+	s0 = rng.Elem(r)
+	s1 = r.Sub(x, s0)
+	return s0, s1
+}
+
+// Reconstruct recovers x from its two shares.
+func Reconstruct(r ring.Ring, s0, s1 ring.Elem) ring.Elem {
+	return r.Add(s0, s1)
+}
+
+// ShareVec splits every element of x.
+func ShareVec(r ring.Ring, x ring.Vec, rng *prg.PRG) (s0, s1 ring.Vec) {
+	s0 = rng.Vec(r, len(x))
+	s1 = r.SubVec(x, s0)
+	return s0, s1
+}
+
+// ReconstructVec recovers a vector from its share vectors.
+func ReconstructVec(r ring.Ring, s0, s1 ring.Vec) ring.Vec {
+	return r.AddVec(s0, s1)
+}
+
+// ShareMat splits every element of m.
+func ShareMat(r ring.Ring, m *ring.Mat, rng *prg.PRG) (s0, s1 *ring.Mat) {
+	s0 = rng.Mat(r, m.Rows, m.Cols)
+	s1 = &ring.Mat{Rows: m.Rows, Cols: m.Cols, Data: r.SubVec(m.Data, s0.Data)}
+	return s0, s1
+}
+
+// ReconstructMat recovers a matrix from its share matrices.
+func ReconstructMat(r ring.Ring, s0, s1 *ring.Mat) *ring.Mat {
+	return r.AddMat(s0, s1)
+}

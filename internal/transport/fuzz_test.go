@@ -1,0 +1,69 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// memStream is an in-memory ReadWriteCloser fed with arbitrary bytes, to
+// fuzz the frame decoder against hostile input.
+type memStream struct {
+	r *bytes.Reader
+}
+
+func (m *memStream) Read(p []byte) (int, error)  { return m.r.Read(p) }
+func (m *memStream) Write(p []byte) (int, error) { return len(p), nil }
+func (m *memStream) Close() error                { return nil }
+
+// FuzzStreamRecv: arbitrary byte streams must never panic the framed
+// receiver and must never yield a message larger than the limit.
+func FuzzStreamRecv(f *testing.F) {
+	// A valid frame, a truncated frame, an oversize announcement.
+	f.Add([]byte{3, 0, 0, 0, 'a', 'b', 'c'})
+	f.Add([]byte{3, 0, 0, 0, 'a'})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewStream(&memStream{r: bytes.NewReader(data)})
+		for i := 0; i < 4; i++ {
+			msg, err := c.Recv()
+			if err != nil {
+				return // any error is acceptable; panics are not
+			}
+			if len(msg) > MaxMessageSize {
+				t.Fatalf("message of %d bytes exceeds limit", len(msg))
+			}
+		}
+	})
+}
+
+// Round trip: every message written by Send must be recovered by Recv.
+func FuzzStreamRoundTrip(f *testing.F) {
+	f.Add([]byte("hello"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > 1<<16 {
+			return
+		}
+		var buf bytes.Buffer
+		w := NewStream(&bufStream{w: &buf})
+		if err := w.Send(payload); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		r := NewStream(&memStream{r: bytes.NewReader(buf.Bytes())})
+		got, err := r.Recv()
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("roundtrip mismatch")
+		}
+	})
+}
+
+type bufStream struct{ w io.Writer }
+
+func (b *bufStream) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (b *bufStream) Write(p []byte) (int, error) { return b.w.Write(p) }
+func (b *bufStream) Close() error                { return nil }

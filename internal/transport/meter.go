@@ -1,0 +1,107 @@
+package transport
+
+import "sync"
+
+// Stats aggregates the communication profile of a protocol execution
+// between two parties: total bytes in each direction, message count, and
+// the number of one-way flights (direction flips), which is what latency
+// multiplies in a WAN.
+type Stats struct {
+	BytesAB  int64 // bytes sent by party A (the first conn of MeteredPipe)
+	BytesBA  int64 // bytes sent by party B
+	Messages int64 // framed messages in both directions
+	Flights  int64 // direction changes; a request/response exchange is 2
+}
+
+// TotalBytes returns the sum of both directions.
+func (s Stats) TotalBytes() int64 { return s.BytesAB + s.BytesBA }
+
+// Sub returns the difference s - prev, for per-phase accounting.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		BytesAB:  s.BytesAB - prev.BytesAB,
+		BytesBA:  s.BytesBA - prev.BytesBA,
+		Messages: s.Messages - prev.Messages,
+		Flights:  s.Flights - prev.Flights,
+	}
+}
+
+// Add returns s + other.
+func (s Stats) Add(other Stats) Stats {
+	return Stats{
+		BytesAB:  s.BytesAB + other.BytesAB,
+		BytesBA:  s.BytesBA + other.BytesBA,
+		Messages: s.Messages + other.Messages,
+		Flights:  s.Flights + other.Flights,
+	}
+}
+
+// Meter collects Stats for a connection pair. Safe for concurrent use.
+type Meter struct {
+	mu         sync.Mutex
+	stats      Stats
+	lastSender int // 0 none yet, 1 = A, 2 = B
+}
+
+// Snapshot returns the current totals.
+func (m *Meter) Snapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Reset zeroes the counters (the direction tracker too).
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+	m.lastSender = 0
+}
+
+func (m *Meter) record(sender int, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if sender == 1 {
+		m.stats.BytesAB += int64(n)
+	} else {
+		m.stats.BytesBA += int64(n)
+	}
+	m.stats.Messages++
+	if m.lastSender != sender {
+		m.stats.Flights++
+		m.lastSender = sender
+	}
+}
+
+// meteredConn wraps a Conn, attributing sent bytes to one party.
+type meteredConn struct {
+	Conn
+	meter *Meter
+	party int
+}
+
+func (c *meteredConn) Send(msg []byte) error {
+	// Record before sending so a concurrent receiver observing the message
+	// also observes the accounting.
+	c.meter.record(c.party, len(msg))
+	return c.Conn.Send(msg)
+}
+
+// MeteredPipe returns an in-memory connected pair whose traffic is recorded
+// in the returned Meter. The first connection is party A for accounting.
+func MeteredPipe() (Conn, Conn, *Meter) {
+	a, b := Pipe()
+	m := &Meter{}
+	return &meteredConn{Conn: a, meter: m, party: 1},
+		&meteredConn{Conn: b, meter: m, party: 2},
+		m
+}
+
+// Metered wraps an existing pair of connections with a shared meter.
+// The conns must be the two ends of the same channel.
+func Metered(a, b Conn) (Conn, Conn, *Meter) {
+	m := &Meter{}
+	return &meteredConn{Conn: a, meter: m, party: 1},
+		&meteredConn{Conn: b, meter: m, party: 2},
+		m
+}

@@ -1,0 +1,44 @@
+package transport
+
+import "time"
+
+// NetModel is an analytic model of a network link: the simulated wall time
+// of a protocol is
+//
+//	compute time + TotalBytes/Bandwidth + Flights * (RTT/2)
+//
+// which is the standard first-order cost model for secure-computation
+// protocols (bandwidth-bound transfers plus one half-RTT per direction
+// change). The paper shapes real links with `tc`; applying the same link
+// parameters to measured bytes/flights reproduces the LAN-vs-WAN shape of
+// its tables without root privileges or real 72 ms delays.
+type NetModel struct {
+	Name           string
+	BandwidthBytes float64       // bytes per second, both directions
+	RTT            time.Duration // round-trip time
+}
+
+var (
+	// LAN models the paper's local setting: 10 Gbit/s, negligible latency.
+	LAN = NetModel{Name: "LAN", BandwidthBytes: 1.25e9, RTT: 200 * time.Microsecond}
+
+	// WANTable3 is the Table 3 WAN setting: "9MB/s and 72ms RTT".
+	WANTable3 = NetModel{Name: "WAN(9MB/s,72ms)", BandwidthBytes: 9e6, RTT: 72 * time.Millisecond}
+
+	// WANQuotient is the Tables 4-5 WAN setting: "24.3MB/s and 40ms RTT"
+	// (the same environment QUOTIENT reports).
+	WANQuotient = NetModel{Name: "WAN(24.3MB/s,40ms)", BandwidthBytes: 24.3e6, RTT: 40 * time.Millisecond}
+)
+
+// NetworkTime returns the simulated time spent on the wire for the given
+// communication profile.
+func (nm NetModel) NetworkTime(s Stats) time.Duration {
+	transfer := time.Duration(float64(s.TotalBytes()) / nm.BandwidthBytes * float64(time.Second))
+	latency := time.Duration(s.Flights) * (nm.RTT / 2)
+	return transfer + latency
+}
+
+// TotalTime combines measured compute time with the modelled network time.
+func (nm NetModel) TotalTime(compute time.Duration, s Stats) time.Duration {
+	return compute + nm.NetworkTime(s)
+}

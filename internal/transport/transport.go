@@ -1,0 +1,137 @@
+// Package transport provides the two-party communication substrate for all
+// protocols in this repository: message-framed connections, byte/round
+// metering, and analytic LAN/WAN network models.
+//
+// The paper evaluates on real links shaped with Linux traffic control; we
+// instead measure the exact bytes and communication rounds of every
+// protocol run and apply the published link parameters analytically (see
+// DESIGN.md, "Substitutions"). A real TCP transport is also provided for
+// the two-process demo binaries.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Conn is one endpoint of a two-party message channel. Send transfers one
+// framed message to the peer; Recv blocks for the next message. A Conn is
+// not safe for concurrent Sends or concurrent Recvs, but one goroutine may
+// Send while another Recvs (full duplex).
+type Conn interface {
+	Send(msg []byte) error
+	Recv() ([]byte, error)
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// pipeHalf is one endpoint of an in-memory duplex pipe.
+type pipeHalf struct {
+	out  chan<- []byte
+	in   <-chan []byte
+	done chan struct{}
+	once *sync.Once
+	peer *pipeHalf
+}
+
+// Pipe returns a connected pair of in-memory connections. Messages are
+// copied on Send, so callers may reuse buffers.
+func Pipe() (Conn, Conn) {
+	ab := make(chan []byte, 1024)
+	ba := make(chan []byte, 1024)
+	done := make(chan struct{})
+	once := &sync.Once{}
+	a := &pipeHalf{out: ab, in: ba, done: done, once: once}
+	b := &pipeHalf{out: ba, in: ab, done: done, once: once}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (p *pipeHalf) Send(msg []byte) error {
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	select {
+	case p.out <- cp:
+		return nil
+	case <-p.done:
+		return ErrClosed
+	}
+}
+
+func (p *pipeHalf) Recv() ([]byte, error) {
+	select {
+	case msg := <-p.in:
+		return msg, nil
+	case <-p.done:
+		// Drain any message that raced with Close so protocols that close
+		// immediately after their final send still deliver it.
+		select {
+		case msg := <-p.in:
+			return msg, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (p *pipeHalf) Close() error {
+	p.once.Do(func() { close(p.done) })
+	return nil
+}
+
+// streamConn frames messages over an io.ReadWriteCloser (e.g. a TCP
+// connection) with a 4-byte little-endian length prefix.
+type streamConn struct {
+	rw     io.ReadWriteCloser
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+}
+
+// MaxMessageSize bounds a single framed message (64 MiB). Larger frames
+// indicate a protocol bug or a hostile peer.
+const MaxMessageSize = 64 << 20
+
+// NewStream wraps a byte stream (such as a *net.TCPConn) as a framed Conn.
+func NewStream(rw io.ReadWriteCloser) Conn { return &streamConn{rw: rw} }
+
+func (s *streamConn) Send(msg []byte) error {
+	if len(msg) > MaxMessageSize {
+		return fmt.Errorf("transport: message of %d bytes exceeds limit", len(msg))
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := s.rw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: send header: %w", err)
+	}
+	if _, err := s.rw.Write(msg); err != nil {
+		return fmt.Errorf("transport: send body: %w", err)
+	}
+	return nil
+}
+
+func (s *streamConn) Recv() ([]byte, error) {
+	s.recvMu.Lock()
+	defer s.recvMu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(s.rw, hdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: recv header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxMessageSize {
+		return nil, fmt.Errorf("transport: peer announced %d-byte message, exceeds limit", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(s.rw, msg); err != nil {
+		return nil, fmt.Errorf("transport: recv body: %w", err)
+	}
+	return msg, nil
+}
+
+func (s *streamConn) Close() error { return s.rw.Close() }

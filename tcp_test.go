@@ -1,0 +1,73 @@
+package abnn2
+
+import (
+	"encoding/json"
+	"net"
+	"testing"
+)
+
+// End-to-end over real TCP, exercising the same flow as the
+// abnn2-server / abnn2-client binaries: arch handshake, then secure
+// classification.
+func TestSecureInferenceOverTCP(t *testing.T) {
+	qm, test := trainSmall(t, "4(2,2)")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer ln.Close()
+	archJSON, err := json.Marshal(qm.Arch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvErr := make(chan error, 1)
+	go func() {
+		tcp, err := ln.Accept()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		defer tcp.Close()
+		conn := Stream(tcp)
+		if err := conn.Send(archJSON); err != nil {
+			srvErr <- err
+			return
+		}
+		srvErr <- Serve(conn, qm, Config{RingBits: 64})
+	}()
+
+	tcp, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := Stream(tcp)
+	raw, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arch Arch
+	if err := json.Unmarshal(raw, &arch); err != nil {
+		t.Fatal(err)
+	}
+	if arch.SchemeName != "4(2,2)" {
+		t.Fatalf("arch scheme = %q", arch.SchemeName)
+	}
+	client, err := Dial(conn, arch, Config{RingBits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := test.Inputs[:2]
+	got, err := client.Classify(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, x := range inputs {
+		if want := qm.Predict(x); got[k] != want {
+			t.Errorf("input %d: secure %d, plaintext %d", k, got[k], want)
+		}
+	}
+	tcp.Close()
+	if err := <-srvErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
