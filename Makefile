@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench tables ablations accuracy fuzz clean
+.PHONY: all build test vet race bench tables ablations accuracy fuzz clean
 
 all: build test
 
@@ -14,6 +14,10 @@ vet:
 
 test: vet
 	$(GO) test ./...
+
+# Full suite under the race detector (the concurrency test tier).
+race:
+	$(GO) test -race ./...
 
 # Scaled-down benchmark suite (minutes on one core).
 bench:
@@ -37,6 +41,7 @@ fuzz:
 	$(GO) test ./internal/ring -fuzz FuzzDecodeVec -fuzztime 10s
 	$(GO) test ./internal/transport -fuzz FuzzStreamRecv -fuzztime 10s
 	$(GO) test ./internal/transport -fuzz FuzzStreamRoundTrip -fuzztime 10s
+	$(GO) test ./internal/par -fuzz FuzzParMap -fuzztime 10s
 
 clean:
 	$(GO) clean ./...

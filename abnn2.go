@@ -62,6 +62,12 @@ type Config struct {
 	// Seed, when non-zero, makes the client's randomness deterministic
 	// (testing/benchmarks only — never set in production).
 	Seed uint64
+	// Workers bounds the compute parallelism of the protocol kernels (OT
+	// extension, garbling, triplet accumulation, matmul) on this party.
+	// 0 means one worker per CPU. Purely local: the two parties may use
+	// different values, and every value — combined with the same Seed —
+	// yields byte-identical transcripts.
+	Workers int
 }
 
 func (c Config) ringBits() uint {
@@ -75,6 +81,9 @@ func (c Config) ringBits() uint {
 func (c Config) validate() error {
 	if b := c.ringBits(); b < 8 || b > 64 {
 		return fmt.Errorf("abnn2: RingBits %d out of range [8,64]", b)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("abnn2: negative Workers %d", c.Workers)
 	}
 	return nil
 }
@@ -128,7 +137,7 @@ func NewServer(conn Conn, model *QuantizedModel, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	scheme := model.qm.Layers[0].Scheme
-	p := core.Params{Ring: ring.New(cfg.ringBits()), Scheme: scheme}
+	p := core.Params{Ring: ring.New(cfg.ringBits()), Scheme: scheme, Workers: cfg.Workers}
 	eng, err := core.NewServerEngine(conn, model.qm, p, cfg.variant())
 	if err != nil {
 		return nil, err
@@ -185,7 +194,7 @@ func Dial(conn Conn, arch Arch, cfg Config) (*Client, error) {
 		return nil, fmt.Errorf("abnn2: architecture scheme: %w", err)
 	}
 	rg := ring.New(cfg.ringBits())
-	p := core.Params{Ring: rg, Scheme: scheme}
+	p := core.Params{Ring: rg, Scheme: scheme, Workers: cfg.Workers}
 	eng, err := core.NewClientEngine(conn, arch, p, cfg.variant(), cfg.rng())
 	if err != nil {
 		return nil, err

@@ -26,9 +26,10 @@ func main() {
 	quick := flag.Bool("quick", false, "scaled-down shapes for a fast run")
 	ablations := flag.Bool("ablations", false, "run ablation studies instead of tables")
 	accuracy := flag.Bool("accuracy", false, "run the quantization accuracy ladder instead of tables")
+	workers := flag.Int("workers", 0, "worker goroutines for protocol kernels (0 = one per CPU)")
 	flag.Parse()
 
-	opt := bench.Options{Quick: *quick, Out: os.Stdout}
+	opt := bench.Options{Quick: *quick, Out: os.Stdout, Workers: *workers}
 	if *accuracy {
 		bench.Accuracy(opt)
 		return

@@ -24,6 +24,7 @@ func main() {
 	ringBits := flag.Uint("ring", 64, "share ring bit width l (must match server)")
 	optRelu := flag.Bool("optimized-relu", false, "must match the server's setting")
 	seed := flag.Uint64("dataset-seed", 7, "synthetic dataset seed")
+	workers := flag.Int("workers", 0, "worker goroutines for protocol kernels (0 = one per CPU)")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("abnn2-client: ")
@@ -45,7 +46,7 @@ func main() {
 	fmt.Printf("architecture: %d layers, input %d, output %d, scheme %s\n",
 		len(arch.Layers), arch.InputSize(), arch.OutputSize(), arch.SchemeName)
 
-	client, err := abnn2.Dial(conn, arch, abnn2.Config{RingBits: *ringBits, OptimizedReLU: *optRelu})
+	client, err := abnn2.Dial(conn, arch, abnn2.Config{RingBits: *ringBits, OptimizedReLU: *optRelu, Workers: *workers})
 	if err != nil {
 		log.Fatalf("setup: %v", err)
 	}

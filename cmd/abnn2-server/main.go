@@ -25,6 +25,7 @@ func main() {
 	listen := flag.String("listen", ":9000", "listen address")
 	ringBits := flag.Uint("ring", 64, "share ring bit width l")
 	optRelu := flag.Bool("optimized-relu", false, "use the sign-leaking optimized ReLU (section 4.2)")
+	workers := flag.Int("workers", 0, "worker goroutines for protocol kernels (0 = one per CPU)")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("abnn2-server: ")
@@ -37,7 +38,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("parse model: %v", err)
 	}
-	cfg := abnn2.Config{RingBits: *ringBits, OptimizedReLU: *optRelu}
+	cfg := abnn2.Config{RingBits: *ringBits, OptimizedReLU: *optRelu, Workers: *workers}
 	archJSON, err := json.Marshal(qm.Arch())
 	if err != nil {
 		log.Fatalf("marshal arch: %v", err)

@@ -35,7 +35,7 @@ func AblationOneBatch(opt Options) []AblationRow {
 	scheme := quant.Uniform(2, 4)
 	rows := []AblationRow{}
 	for _, mode := range []core.Mode{core.NaiveN, core.OneBatch} {
-		meas, err := runOfflineMode(rg, scheme, layerShape{m, n}, 1, mode)
+		meas, err := runOfflineMode(rg, scheme, layerShape{m, n}, 1, mode, opt.Workers)
 		if err != nil {
 			panic(fmt.Sprintf("bench: one-batch ablation %v: %v", mode, err))
 		}
@@ -62,7 +62,7 @@ func AblationMultiBatch(opt Options) []AblationRow {
 	scheme := quant.Uniform(2, 4)
 	rows := []AblationRow{}
 
-	multi, err := runOfflineMode(rg, scheme, layerShape{m, n}, o, core.MultiBatch)
+	multi, err := runOfflineMode(rg, scheme, layerShape{m, n}, o, core.MultiBatch, opt.Workers)
 	if err != nil {
 		panic(fmt.Sprintf("bench: multi-batch ablation: %v", err))
 	}
@@ -76,7 +76,7 @@ func AblationMultiBatch(opt Options) []AblationRow {
 	// Naive: o independent one-batch runs on one session.
 	var naive measurement
 	start := time.Now()
-	meas, err := runRepeatedOneBatch(rg, scheme, layerShape{m, n}, o)
+	meas, err := runRepeatedOneBatch(rg, scheme, layerShape{m, n}, o, opt.Workers)
 	if err != nil {
 		panic(fmt.Sprintf("bench: repeated one-batch: %v", err))
 	}
@@ -104,7 +104,7 @@ func AblationReLU(opt Options) []AblationRow {
 	rg := ring.New(32)
 	rows := []AblationRow{}
 	for _, v := range []core.ReLUVariant{core.ReLUGC, core.ReLUOptimized} {
-		meas, err := runEndToEnd(rg, quant.Uniform(2, 4), shapes, batch, v)
+		meas, err := runEndToEnd(rg, quant.Uniform(2, 4), shapes, batch, v, opt.Workers)
 		if err != nil {
 			panic(fmt.Sprintf("bench: relu ablation %v: %v", v, err))
 		}
@@ -136,7 +136,7 @@ func AblationFragmentN(opt Options) []AblationRow {
 	}
 	rows := []AblationRow{}
 	for _, sc := range schemes {
-		meas, err := runOfflineMode(rg, sc, layerShape{m, n}, 1, core.OneBatch)
+		meas, err := runOfflineMode(rg, sc, layerShape{m, n}, 1, core.OneBatch, opt.Workers)
 		if err != nil {
 			panic(fmt.Sprintf("bench: fragment ablation %s: %v", sc.Name(), err))
 		}
@@ -164,7 +164,7 @@ func AblationXONN(opt Options) []AblationRow {
 
 	// ABNN2, binary weights, batch 1, l=32.
 	shapes := []layerShape{{sizes[1], sizes[0]}, {sizes[2], sizes[1]}}
-	meas, err := runEndToEnd(ring.New(32), quant.Binary(), shapes, 1, core.ReLUGC)
+	meas, err := runEndToEnd(ring.New(32), quant.Binary(), shapes, 1, core.ReLUGC, opt.Workers)
 	if err != nil {
 		panic(fmt.Sprintf("bench: xonn ablation abnn2: %v", err))
 	}
@@ -226,7 +226,7 @@ func AblationRing(opt Options) []AblationRow {
 				l.ReqC, l.ReqT = 13, 12 // ~Scale=1 rescale; cost-equivalent
 			}
 		}
-		meas, err := runEndToEndModel(ring.New(cfg.bits), qm, batch, core.ReLUGC)
+		meas, err := runEndToEndModel(ring.New(cfg.bits), qm, batch, core.ReLUGC, opt.Workers)
 		if err != nil {
 			panic(fmt.Sprintf("bench: ring ablation %s: %v", cfg.label, err))
 		}
@@ -251,8 +251,8 @@ func printAblation(opt Options, title string, rows []AblationRow) {
 
 // runOfflineMode is runOfflineNetwork for a single layer with an explicit
 // packaging mode.
-func runOfflineMode(rg ring.Ring, scheme quant.Scheme, sh layerShape, o int, mode core.Mode) (measurement, error) {
-	p := core.Params{Ring: rg, Scheme: scheme}
+func runOfflineMode(rg ring.Ring, scheme quant.Scheme, sh layerShape, o int, mode core.Mode, workers int) (measurement, error) {
+	p := core.Params{Ring: rg, Scheme: scheme, Workers: workers}
 	return runPair(
 		func(conn transport.Conn) error {
 			rng := prg.New(prg.SeedFromInt(31))
@@ -284,8 +284,8 @@ func runOfflineMode(rg ring.Ring, scheme quant.Scheme, sh layerShape, o int, mod
 
 // runRepeatedOneBatch runs o sequential one-batch generations over a
 // single session pair (the strawman the multi-batch scheme replaces).
-func runRepeatedOneBatch(rg ring.Ring, scheme quant.Scheme, sh layerShape, o int) (measurement, error) {
-	p := core.Params{Ring: rg, Scheme: scheme}
+func runRepeatedOneBatch(rg ring.Ring, scheme quant.Scheme, sh layerShape, o int, workers int) (measurement, error) {
+	p := core.Params{Ring: rg, Scheme: scheme, Workers: workers}
 	return runPair(
 		func(conn transport.Conn) error {
 			rng := prg.New(prg.SeedFromInt(33))

@@ -54,7 +54,7 @@ func Accuracy(opt Options) []AccuracyRow {
 	for _, sc := range schemes {
 		qm := nn.Quantize(model, sc, 8)
 		qAcc := qm.Accuracy(testX, testY)
-		match := secureAgreement(qm, sc, testX[:secureN])
+		match := secureAgreement(qm, sc, testX[:secureN], opt.Workers)
 		rows = append(rows, AccuracyRow{
 			Scheme:      sc.Name(),
 			FloatAcc:    floatAcc,
@@ -74,9 +74,9 @@ func Accuracy(opt Options) []AccuracyRow {
 // secureAgreement runs one secure batch and returns the fraction of
 // predictions identical to plaintext quantized inference (expected: 1.0,
 // the protocol is exact over Z_2^64).
-func secureAgreement(qm *nn.QuantizedModel, sc quant.Scheme, inputs [][]float64) float64 {
+func secureAgreement(qm *nn.QuantizedModel, sc quant.Scheme, inputs [][]float64, workers int) float64 {
 	rg := ring.New(64)
-	p := core.Params{Ring: rg, Scheme: sc}
+	p := core.Params{Ring: rg, Scheme: sc, Workers: workers}
 	arch := core.ArchOf(qm)
 	batch := len(inputs)
 	ca, cb := transport.Pipe()

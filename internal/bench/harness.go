@@ -24,6 +24,10 @@ import (
 type Options struct {
 	Quick bool
 	Out   io.Writer // defaults to io.Discard when nil
+	// Workers bounds the per-party kernel parallelism (core.Params.Workers)
+	// of every measured protocol run. 0 means one worker per CPU; set 1 to
+	// measure the sequential baselines.
+	Workers int
 }
 
 func (o Options) out() io.Writer {

@@ -57,7 +57,7 @@ func Table2(opt Options) []Table2Row {
 	var rows []Table2Row
 	for _, sc := range table2Schemes {
 		for _, batch := range batches {
-			m, err := runOfflineNetwork(rg, sc.scheme, shapes, batch)
+			m, err := runOfflineNetwork(rg, sc.scheme, shapes, batch, opt.Workers)
 			if err != nil {
 				panic(fmt.Sprintf("bench: table2 %s batch %d: %v", sc.scheme.Name(), batch, err))
 			}
@@ -80,8 +80,8 @@ func Table2(opt Options) []Table2Row {
 
 // runOfflineNetwork generates the offline triplets for every layer of a
 // network, measuring the combined cost.
-func runOfflineNetwork(rg ring.Ring, scheme quant.Scheme, shapes []layerShape, batch int) (measurement, error) {
-	p := core.Params{Ring: rg, Scheme: scheme}
+func runOfflineNetwork(rg ring.Ring, scheme quant.Scheme, shapes []layerShape, batch int, workers int) (measurement, error) {
+	p := core.Params{Ring: rg, Scheme: scheme, Workers: workers}
 	mode := core.ModeFor(batch)
 	return runPair(
 		func(conn transport.Conn) error {

@@ -34,7 +34,7 @@ func Table3(opt Options) []Table3Row {
 	var rows []Table3Row
 	for _, d := range ds {
 		for _, sc := range schemes {
-			meas, err := runOfflineNetwork(rg, sc, []layerShape{{m, d}}, 1)
+			meas, err := runOfflineNetwork(rg, sc, []layerShape{{m, d}}, 1, opt.Workers)
 			if err != nil {
 				panic(fmt.Sprintf("bench: table3 %s d=%d: %v", sc.Name(), d, err))
 			}

@@ -56,7 +56,7 @@ func Table4(opt Options) []Table4Row {
 		rg := ring.New(l)
 		for _, sc := range table4Schemes {
 			for _, batch := range batches {
-				meas, err := runEndToEnd(rg, sc, shapes, batch, core.ReLUGC)
+				meas, err := runEndToEnd(rg, sc, shapes, batch, core.ReLUGC, opt.Workers)
 				if err != nil {
 					panic(fmt.Sprintf("bench: table4 %s l=%d batch=%d: %v", sc.Name(), l, batch, err))
 				}
@@ -71,7 +71,7 @@ func Table4(opt Options) []Table4Row {
 			}
 		}
 		for _, batch := range batches {
-			row := measureMiniONN(rg, shapes, batch, minionnCap)
+			row := measureMiniONN(rg, shapes, batch, minionnCap, opt.Workers)
 			rows = append(rows, row)
 		}
 	}
@@ -85,15 +85,15 @@ func Table4(opt Options) []Table4Row {
 
 // runEndToEnd measures a complete offline+online secure inference on a
 // synthetic network with the given layer shapes.
-func runEndToEnd(rg ring.Ring, scheme quant.Scheme, shapes []layerShape, batch int, variant core.ReLUVariant) (measurement, error) {
-	return runEndToEndModel(rg, syntheticQuantized(scheme, shapes), batch, variant)
+func runEndToEnd(rg ring.Ring, scheme quant.Scheme, shapes []layerShape, batch int, variant core.ReLUVariant, workers int) (measurement, error) {
+	return runEndToEndModel(rg, syntheticQuantized(scheme, shapes), batch, variant, workers)
 }
 
 // runEndToEndModel measures a complete offline+online secure inference
 // for an explicit quantized model.
-func runEndToEndModel(rg ring.Ring, qm *nn.QuantizedModel, batch int, variant core.ReLUVariant) (measurement, error) {
+func runEndToEndModel(rg ring.Ring, qm *nn.QuantizedModel, batch int, variant core.ReLUVariant, workers int) (measurement, error) {
 	scheme := qm.Layers[0].Scheme
-	p := core.Params{Ring: rg, Scheme: scheme}
+	p := core.Params{Ring: rg, Scheme: scheme, Workers: workers}
 	arch := core.ArchOf(qm)
 	return runPair(
 		func(conn transport.Conn) error {
@@ -149,7 +149,7 @@ func syntheticQuantized(scheme quant.Scheme, shapes []layerShape) *nn.QuantizedM
 // measureMiniONN measures the MiniONN baseline: HE offline phase plus the
 // same online phase ABNN2 uses (MiniONN's online is likewise additive
 // shares + GC activations). Batches beyond cap are extrapolated.
-func measureMiniONN(rg ring.Ring, shapes []layerShape, batch, maxBatch int) Table4Row {
+func measureMiniONN(rg ring.Ring, shapes []layerShape, batch, maxBatch int, workers int) Table4Row {
 	measured := batch
 	note := ""
 	if batch > maxBatch {
@@ -180,7 +180,7 @@ func measureMiniONN(rg ring.Ring, shapes []layerShape, batch, maxBatch int) Tabl
 	}
 	// Online phase: identical to ABNN2's (binary weights used as the
 	// cheapest stand-in; online cost is scheme-independent).
-	online, err := runOnlineOnly(rg, shapes, batch)
+	online, err := runOnlineOnly(rg, shapes, batch, workers)
 	if err != nil {
 		panic(fmt.Sprintf("bench: minionn online batch %d: %v", batch, err))
 	}
@@ -236,10 +236,10 @@ func runMiniONNOffline(rg ring.Ring, shapes []layerShape, batch int) (measuremen
 
 // runOnlineOnly measures just the online phase of the reference engine
 // (the offline phase is run but excluded from the measurement window).
-func runOnlineOnly(rg ring.Ring, shapes []layerShape, batch int) (measurement, error) {
+func runOnlineOnly(rg ring.Ring, shapes []layerShape, batch int, workers int) (measurement, error) {
 	scheme := quant.Binary()
 	qm := syntheticQuantized(scheme, shapes)
-	p := core.Params{Ring: rg, Scheme: scheme}
+	p := core.Params{Ring: rg, Scheme: scheme, Workers: workers}
 	arch := core.ArchOf(qm)
 	ca, cb, meter := transport.MeteredPipe()
 	defer ca.Close()

@@ -4,7 +4,11 @@
 // KK13) and both parties need it row-wise, or vice versa.
 package bitmat
 
-import "fmt"
+import (
+	"fmt"
+
+	"abnn2/internal/par"
+)
 
 // Matrix is a packed bit matrix with Rows rows of Cols bits each. Row i
 // occupies Data[i*Stride : i*Stride+Stride]; bit j of row i is
@@ -61,7 +65,13 @@ func (m *Matrix) XORRowInto(i int, src []byte) {
 // storage; callers must treat bits beyond m.Rows in each output row as
 // padding. For the OT extensions in this repo, m.Rows is always padded to
 // a multiple of 8 by the caller, so no slack bits exist in practice.
-func Transpose(m *Matrix) *Matrix {
+func Transpose(m *Matrix) *Matrix { return TransposePar(m, 1) }
+
+// TransposePar is Transpose with the 8-row block loop split across the
+// shared worker pool. Each row block rb writes only output-column byte
+// rb of every output row, so the ranges are disjoint and the result is
+// identical for any worker count. workers <= 0 means GOMAXPROCS.
+func TransposePar(m *Matrix, workers int) *Matrix {
 	outCols := (m.Rows + 7) &^ 7
 	if outCols == 0 {
 		outCols = 8
@@ -70,7 +80,7 @@ func Transpose(m *Matrix) *Matrix {
 	// Process in 8x8 bit blocks: read 8 rows x 8 columns, transpose the
 	// 64-bit block with shift-mask tricks, write 8 output rows.
 	fullRowBlocks := m.Rows / 8
-	for rb := 0; rb < fullRowBlocks; rb++ {
+	par.Map(workers, fullRowBlocks, func(rb int) {
 		for cb := 0; cb < m.Stride; cb++ {
 			// Gather 8 bytes: one byte (8 column bits) from each of 8 rows.
 			var block uint64
@@ -86,7 +96,7 @@ func Transpose(m *Matrix) *Matrix {
 				out.Data[obase+k*out.Stride+rb] = byte(block >> (8 * uint(k)))
 			}
 		}
-	}
+	})
 	// Tail rows (m.Rows not multiple of 8): bit-by-bit.
 	for i := fullRowBlocks * 8; i < m.Rows; i++ {
 		for j := 0; j < m.Cols; j++ {

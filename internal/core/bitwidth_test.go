@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"abnn2/internal/quant"
+	"abnn2/internal/ring"
+)
+
+// TestInferenceEdgeBitwidths drives the full secure pipeline through
+// the paper's "arbitrary bitwidth" claim at the ring edges: the
+// smallest supported ring (l=8), a deliberately odd non-power-of-two
+// width (l=33), and the largest (l=64, where the modular mask is all
+// ones). Every scheme family crosses every width, in both the one-batch
+// (batch=1, correlated-OT) and multi-batch (batch=3) triplet modes, and
+// must match the plaintext quantized reference bit-exactly — the secure
+// protocol computes in the same ring as the reference, so even l=8
+// agrees despite overflow wraparound.
+func TestInferenceEdgeBitwidths(t *testing.T) {
+	schemes := []quant.Scheme{
+		quant.Binary(),
+		quant.Ternary(),
+		quant.Uniform(2, 4), // "8(2,2,2,2)"
+	}
+	for _, bits := range []uint{8, 33, 64} {
+		for _, sc := range schemes {
+			sc := sc
+			bits := bits
+			t.Run(fmt.Sprintf("l=%d/%s", bits, sc.Name()), func(t *testing.T) {
+				t.Parallel()
+				qm := buildTestModel(t, sc)
+				p := Params{Ring: ring.New(bits), Scheme: sc}
+				for _, batch := range []int{1, 3} {
+					runInference(t, qm, p, ReLUGC, batch)
+				}
+			})
+		}
+	}
+}
+
+// TestInferenceEdgeBitwidthsOptimizedReLU spot-checks the sign-bit ReLU
+// protocol at the two extreme widths (the sign lives in the top bit, so
+// the mask arithmetic differs most at l=8 and l=64).
+func TestInferenceEdgeBitwidthsOptimizedReLU(t *testing.T) {
+	for _, bits := range []uint{8, 64} {
+		bits := bits
+		t.Run(fmt.Sprintf("l=%d", bits), func(t *testing.T) {
+			t.Parallel()
+			sc := quant.Uniform(2, 4)
+			qm := buildTestModel(t, sc)
+			p := Params{Ring: ring.New(bits), Scheme: sc}
+			runInference(t, qm, p, ReLUOptimized, 1)
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"abnn2/internal/nn"
+	"abnn2/internal/par"
 	"abnn2/internal/prg"
 	"abnn2/internal/ring"
 )
@@ -240,6 +241,7 @@ func NewServerEngine(conn Conn, model *nn.QuantizedModel, p Params, variant ReLU
 	if err != nil {
 		return nil, err
 	}
+	nl.SetWorkers(p.Workers)
 	return &ServerEngine{params: p, variant: variant, model: model, arch: ArchOf(model), conn: conn, trip: trip, nl: nl}, nil
 }
 
@@ -259,6 +261,7 @@ func NewClientEngine(conn Conn, arch Arch, p Params, variant ReLUVariant, rng *p
 	if err != nil {
 		return nil, err
 	}
+	nl.SetWorkers(p.Workers)
 	return &ClientEngine{params: p, variant: variant, arch: arch, conn: conn, trip: trip, nl: nl, rng: rng}, nil
 }
 
@@ -352,7 +355,14 @@ func (e *ServerEngine) online(argmax bool) error {
 	for li, l := range e.model.Layers {
 		spec := e.arch.Layers[li]
 		w := l.WMat(rg)
-		y0 := rg.MulMat(w, shareCols(spec, z0))
+		// The online matmul is the server's heaviest local step; rows of
+		// the product touch disjoint output slices, so they fan out across
+		// the worker pool.
+		cols := shareCols(spec, z0)
+		y0 := ring.NewMat(w.Rows, cols.Cols)
+		par.Chunks(e.params.Workers, w.Rows, func(_, lo, hi int) {
+			rg.MulMatRows(w, cols, y0, lo, hi)
+		})
 		y0 = rg.AddMat(y0, e.u[li])
 		// Bias is server-local: add to every column of the output row.
 		for i := 0; i < l.Out; i++ {

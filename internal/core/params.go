@@ -26,6 +26,12 @@ type Conn = transport.Conn
 type Params struct {
 	Ring   ring.Ring    // the share ring Z_2^l
 	Scheme quant.Scheme // weight quantization / fragmentation scheme
+	// Workers bounds the compute parallelism of the protocol kernels
+	// (OT extension, garbling, triplet accumulation, matmul) on this
+	// party. 0 means one worker per CPU. Purely local: the two parties
+	// may use different values, and every value yields byte-identical
+	// transcripts.
+	Workers int
 }
 
 // Validate checks internal consistency.
@@ -35,6 +41,9 @@ func (p Params) Validate() error {
 	}
 	if p.Scheme == nil {
 		return fmt.Errorf("core: scheme not set")
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("core: negative worker count %d", p.Workers)
 	}
 	for i := 0; i < p.Scheme.Gamma(); i++ {
 		if n := p.Scheme.FragmentN(i); n < 2 || n > 256 {

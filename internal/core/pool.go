@@ -45,13 +45,14 @@ func (c *ClientNonlinear) MaxPoolClient(y1, z1 ring.Vec, windows [][]int, withRe
 		return err
 	}
 	rbits := c.rg.Bits()
+	var circs []*gc.Circuit
+	var ins [][]byte
 	for start := 0; start < len(windows); start += poolChunk {
 		end := start + poolChunk
 		if end > len(windows) {
 			end = len(windows)
 		}
 		n := end - start
-		circ := c.poolCircuit(rbits, win, n, withReLU)
 		// Gather y1 values in window order.
 		gathered := make(ring.Vec, 0, n*win)
 		for _, w := range windows[start:end] {
@@ -59,10 +60,12 @@ func (c *ClientNonlinear) MaxPoolClient(y1, z1 ring.Vec, windows [][]int, withRe
 				gathered = append(gathered, y1[idx])
 			}
 		}
-		in := append(gc.VecToBits(gathered, rbits), gc.VecToBits(z1[start:end], rbits)...)
-		if err := c.garb.Run(circ, in); err != nil {
-			return fmt.Errorf("core: maxpool garble: %w", err)
-		}
+		circs = append(circs, c.poolCircuit(rbits, win, n, withReLU))
+		ins = append(ins, append(gc.VecToBits(gathered, rbits), gc.VecToBits(z1[start:end], rbits)...))
+	}
+	// All chunks garble as one batch on the worker pool.
+	if err := c.garb.RunBatch(circs, ins); err != nil {
+		return fmt.Errorf("core: maxpool garble: %w", err)
 	}
 	return nil
 }
@@ -75,25 +78,32 @@ func (s *ServerNonlinear) MaxPoolServer(y0 ring.Vec, windows [][]int, withReLU b
 		return nil, err
 	}
 	rbits := s.rg.Bits()
-	z0 := make(ring.Vec, 0, len(windows))
+	var circs []*gc.Circuit
+	var ins [][]byte
+	var ns []int
 	for start := 0; start < len(windows); start += poolChunk {
 		end := start + poolChunk
 		if end > len(windows) {
 			end = len(windows)
 		}
 		n := end - start
-		circ := s.poolCircuit(rbits, win, n, withReLU)
 		gathered := make(ring.Vec, 0, n*win)
 		for _, w := range windows[start:end] {
 			for _, idx := range w {
 				gathered = append(gathered, y0[idx])
 			}
 		}
-		out, err := s.eval.Run(circ, gc.VecToBits(gathered, rbits))
-		if err != nil {
-			return nil, fmt.Errorf("core: maxpool evaluate: %w", err)
-		}
-		z0 = append(z0, gc.BitsToVec(out, rbits, n)...)
+		circs = append(circs, s.poolCircuit(rbits, win, n, withReLU))
+		ins = append(ins, gc.VecToBits(gathered, rbits))
+		ns = append(ns, n)
+	}
+	outs, err := s.eval.RunBatch(circs, ins)
+	if err != nil {
+		return nil, fmt.Errorf("core: maxpool evaluate: %w", err)
+	}
+	z0 := make(ring.Vec, 0, len(windows))
+	for k, out := range outs {
+		z0 = append(z0, gc.BitsToVec(out, rbits, ns[k])...)
 	}
 	return z0, nil
 }

@@ -151,40 +151,63 @@ func NewServerNonlinear(conn transport.Conn, rg ring.Ring, session uint64, rng *
 	return &ServerNonlinear{rg: rg, eval: e, conn: conn}, nil
 }
 
+// SetWorkers bounds the kernel parallelism of the GC session underneath
+// (garbling and label OT). 0 means one worker per CPU.
+func (c *ClientNonlinear) SetWorkers(n int) { c.garb.SetWorkers(n) }
+
+// SetWorkers mirrors ClientNonlinear.SetWorkers.
+func (s *ServerNonlinear) SetWorkers(n int) { s.eval.SetWorkers(n) }
+
+// reluSpans splits n neurons into reluChunk-sized [start, end) spans.
+func reluSpans(n int) [][2]int {
+	var spans [][2]int
+	for start := 0; start < n; start += reluChunk {
+		end := start + reluChunk
+		if end > n {
+			end = n
+		}
+		spans = append(spans, [2]int{start, end})
+	}
+	return spans
+}
+
 // ReLUClient runs the client side over a share vector: y1 are the
 // client's shares of the pre-activations, z1 the client's (pre-chosen)
-// shares of the outputs. Long vectors are processed in chunks of
-// reluChunk neurons, one garbled circuit per chunk.
+// shares of the outputs. Long vectors are split into chunks of reluChunk
+// neurons, one garbled circuit per chunk; the chunks garble as one batch
+// so the CPU-heavy half fans out across the worker pool while the wire
+// flights keep a fixed order.
 func (c *ClientNonlinear) ReLUClient(variant ReLUVariant, y1, z1 ring.Vec) error {
 	if len(y1) != len(z1) {
 		return fmt.Errorf("core: relu share length mismatch %d vs %d", len(y1), len(z1))
 	}
-	for start := 0; start < len(y1); start += reluChunk {
-		end := start + reluChunk
-		if end > len(y1) {
-			end = len(y1)
-		}
-		if err := c.reluChunkClient(variant, y1[start:end], z1[start:end]); err != nil {
-			return err
+	if variant != ReLUGC && variant != ReLUOptimized {
+		return fmt.Errorf("core: unknown ReLU variant %d", variant)
+	}
+	bits := c.rg.Bits()
+	spans := reluSpans(len(y1))
+	circs := make([]*gc.Circuit, len(spans))
+	ins := make([][]byte, len(spans))
+	for k, sp := range spans {
+		n := sp[1] - sp[0]
+		if variant == ReLUGC {
+			circs[k] = c.cache.reluCircuit(bits, n)
+			ins[k] = append(gc.VecToBits(y1[sp[0]:sp[1]], bits), gc.VecToBits(z1[sp[0]:sp[1]], bits)...)
+		} else {
+			circs[k] = c.cache.signCircuit(bits, n)
+			ins[k] = gc.VecToBits(y1[sp[0]:sp[1]], bits)
 		}
 	}
-	return nil
-}
-
-func (c *ClientNonlinear) reluChunkClient(variant ReLUVariant, y1, z1 ring.Vec) error {
-	n := len(y1)
-	bits := c.rg.Bits()
-	switch variant {
-	case ReLUGC:
-		circ := c.cache.reluCircuit(bits, n)
-		in := append(gc.VecToBits(y1, bits), gc.VecToBits(z1, bits)...)
-		return c.garb.Run(circ, in)
-	case ReLUOptimized:
-		circ := c.cache.signCircuit(bits, n)
-		if err := c.garb.Run(circ, gc.VecToBits(y1, bits)); err != nil {
-			return err
-		}
-		// Receive the sign bits the server decoded, then reshare.
+	if err := c.garb.RunBatch(circs, ins); err != nil {
+		return err
+	}
+	if variant == ReLUGC {
+		return nil
+	}
+	// Optimized variant: receive the sign bits the server decoded, then
+	// reshare — one round per chunk, in chunk order.
+	for _, sp := range spans {
+		n := sp[1] - sp[0]
 		raw, err := c.conn.Recv()
 		if err != nil {
 			return fmt.Errorf("core: recv sign bits: %w", err)
@@ -195,51 +218,53 @@ func (c *ClientNonlinear) reluChunkClient(variant ReLUVariant, y1, z1 ring.Vec) 
 		d := make(ring.Vec, n)
 		for i := 0; i < n; i++ {
 			if (raw[i/8]>>(uint(i)%8))&1 == 1 {
-				d[i] = c.rg.Sub(y1[i], z1[i]) // positive: z0 = y0 + (y1 - z1)
+				d[i] = c.rg.Sub(y1[sp[0]+i], z1[sp[0]+i]) // positive: z0 = y0 + (y1 - z1)
 			} else {
-				d[i] = c.rg.Neg(z1[i]) // negative: z0 = -z1
+				d[i] = c.rg.Neg(z1[sp[0]+i]) // negative: z0 = -z1
 			}
 		}
-		return c.conn.Send(c.rg.AppendVec(nil, d))
+		if err := c.conn.Send(c.rg.AppendVec(nil, d)); err != nil {
+			return fmt.Errorf("core: send reshare: %w", err)
+		}
 	}
-	return fmt.Errorf("core: unknown ReLU variant %d", variant)
+	return nil
 }
 
 // ReLUServer runs the server side over its share vector y0, returning its
 // shares z0 of the activations. Chunking mirrors ReLUClient.
 func (s *ServerNonlinear) ReLUServer(variant ReLUVariant, y0 ring.Vec) (ring.Vec, error) {
-	z0 := make(ring.Vec, 0, len(y0))
-	for start := 0; start < len(y0); start += reluChunk {
-		end := start + reluChunk
-		if end > len(y0) {
-			end = len(y0)
-		}
-		part, err := s.reluChunkServer(variant, y0[start:end])
-		if err != nil {
-			return nil, err
-		}
-		z0 = append(z0, part...)
+	if variant != ReLUGC && variant != ReLUOptimized {
+		return nil, fmt.Errorf("core: unknown ReLU variant %d", variant)
 	}
-	return z0, nil
-}
-
-func (s *ServerNonlinear) reluChunkServer(variant ReLUVariant, y0 ring.Vec) (ring.Vec, error) {
-	n := len(y0)
 	bits := s.rg.Bits()
-	switch variant {
-	case ReLUGC:
-		circ := s.cache.reluCircuit(bits, n)
-		out, err := s.eval.Run(circ, gc.VecToBits(y0, bits))
-		if err != nil {
-			return nil, err
+	spans := reluSpans(len(y0))
+	circs := make([]*gc.Circuit, len(spans))
+	ins := make([][]byte, len(spans))
+	for k, sp := range spans {
+		n := sp[1] - sp[0]
+		if variant == ReLUGC {
+			circs[k] = s.cache.reluCircuit(bits, n)
+		} else {
+			circs[k] = s.cache.signCircuit(bits, n)
 		}
-		return ring.Vec(gc.BitsToVec(out, bits, n)), nil
-	case ReLUOptimized:
-		circ := s.cache.signCircuit(bits, n)
-		signs, err := s.eval.Run(circ, gc.VecToBits(y0, bits))
-		if err != nil {
-			return nil, err
+		ins[k] = gc.VecToBits(y0[sp[0]:sp[1]], bits)
+	}
+	outs, err := s.eval.RunBatch(circs, ins)
+	if err != nil {
+		return nil, err
+	}
+	z0 := make(ring.Vec, 0, len(y0))
+	if variant == ReLUGC {
+		for k, sp := range spans {
+			z0 = append(z0, gc.BitsToVec(outs[k], bits, sp[1]-sp[0])...)
 		}
+		return z0, nil
+	}
+	// Optimized variant: reveal signs and reshare per chunk, mirroring
+	// the client's round order.
+	for k, sp := range spans {
+		n := sp[1] - sp[0]
+		signs := outs[k]
 		packed := make([]byte, (n+7)/8)
 		for i, b := range signs {
 			if b&1 == 1 {
@@ -257,15 +282,13 @@ func (s *ServerNonlinear) reluChunkServer(variant ReLUVariant, y0 ring.Vec) (rin
 		if err != nil || len(rest) != 0 {
 			return nil, fmt.Errorf("core: reshare message malformed: %v", err)
 		}
-		z0 := make(ring.Vec, n)
 		for i := 0; i < n; i++ {
 			if signs[i]&1 == 1 {
-				z0[i] = s.rg.Add(y0[i], d[i])
+				z0 = append(z0, s.rg.Add(y0[sp[0]+i], d[i]))
 			} else {
-				z0[i] = d[i]
+				z0 = append(z0, d[i])
 			}
 		}
-		return z0, nil
 	}
-	return nil, fmt.Errorf("core: unknown ReLU variant %d", variant)
+	return z0, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"abnn2/internal/otext"
+	"abnn2/internal/par"
 	"abnn2/internal/prg"
 	"abnn2/internal/quant"
 	"abnn2/internal/ring"
@@ -46,6 +47,7 @@ func NewClientTriplets(conn Conn, p Params, session uint64, rng *prg.PRG) (*Clie
 	if err != nil {
 		return nil, fmt.Errorf("core: client triplet setup: %w", err)
 	}
+	ot.SetWorkers(p.Workers)
 	return &ClientTriplets{params: p, ot: ot, rng: rng, vals: p.fragValues()}, nil
 }
 
@@ -66,6 +68,7 @@ func newServerTripletsSeeded(conn Conn, p Params, session uint64, rng *prg.PRG) 
 	if err != nil {
 		return nil, fmt.Errorf("core: server triplet setup: %w", err)
 	}
+	ot.SetWorkers(p.Workers)
 	return &ServerTriplets{params: p, ot: ot, vals: p.fragValues()}, nil
 }
 
@@ -133,53 +136,75 @@ func (c *ClientTriplets) GenerateClient(sh MatShape, R *ring.Mat, mode Mode) (*r
 		if err != nil {
 			return nil, fmt.Errorf("core: client extend: %w", err)
 		}
-		payload := make([]byte, 0, chunk*padBytes*2)
-		for local := 0; local < chunk; local++ {
-			g := ot + local
-			i := g / (sh.N * gamma) // W row
-			j := (g / gamma) % sh.N // W col
-			f := g % gamma          // fragment
-			n := c.params.Scheme.FragmentN(f)
-			vrow := V.Row(i)
-			switch mode {
-			case OneBatch:
-				// s := pad(0); V accumulates s; ciphertexts for t>=1 are
-				// (Value(t)*r - s) XOR pad(t).
-				s := rg.FromBytesFull(blk.Pad(local, 0, 8))
-				vrow[0] = rg.Add(vrow[0], s)
-				r := R.At(j, 0)
-				for t := 1; t < n; t++ {
-					m := rg.Sub(rg.Mul(c.vals[f][t], r), s)
-					ct := xorRingElem(rg, m, blk.Pad(local, t, elemBytes))
-					payload = append(payload, ct...)
-				}
-			case NaiveN:
-				// Fresh random s; all N ciphertexts sent.
-				s := c.rng.Elem(rg)
-				vrow[0] = rg.Add(vrow[0], s)
-				r := R.At(j, 0)
-				for t := 0; t < n; t++ {
-					m := rg.Sub(rg.Mul(c.vals[f][t], r), s)
-					ct := xorRingElem(rg, m, blk.Pad(local, t, elemBytes))
-					payload = append(payload, ct...)
-				}
-			case MultiBatch:
-				// One OT carries all o columns: random s_k per column,
-				// payload_t = concat_k (Value(t)*r_jk - s_k).
-				ss := c.rng.Vec(rg, sh.O)
-				rg.AddVecInPlace(vrow, ss)
-				rrow := R.Row(j)
-				buf := make([]byte, 0, padBytes)
-				for t := 0; t < n; t++ {
-					buf = buf[:0]
-					for k := 0; k < sh.O; k++ {
-						buf = rg.AppendElem(buf, rg.Sub(rg.Mul(c.vals[f][t], rrow[k]), ss[k]))
+		// Every OT's ciphertext block has a public size, so workers can
+		// write disjoint spans of the payload flight directly.
+		offs := payloadOffsets(c.params, ot, chunk, mode, elemBytes, padBytes)
+		payload := make([]byte, offs[chunk])
+		// Pre-draw the per-OT masking randomness sequentially, in the
+		// exact order the sequential protocol consumed it — seeded
+		// transcripts stay byte-identical for every worker count.
+		var masks ring.Vec
+		switch mode {
+		case NaiveN:
+			masks = c.rng.Vec(rg, chunk)
+		case MultiBatch:
+			masks = c.rng.Vec(rg, chunk*sh.O)
+		}
+		// Fragment x row accumulation: each worker sums its OT range
+		// into a private partial of V, reduced below. Ring addition is
+		// commutative, so the result is independent of scheduling.
+		partials := make([]ring.Vec, par.NumChunks(c.params.Workers, chunk))
+		par.Chunks(c.params.Workers, chunk, func(part, lo, hi int) {
+			pv := make(ring.Vec, sh.M*sh.O)
+			partials[part] = pv
+			pV := &ring.Mat{Rows: sh.M, Cols: sh.O, Data: pv}
+			buf := make([]byte, 0, padBytes)
+			for local := lo; local < hi; local++ {
+				g := ot + local
+				i := g / (sh.N * gamma) // W row
+				j := (g / gamma) % sh.N // W col
+				f := g % gamma          // fragment
+				n := c.params.Scheme.FragmentN(f)
+				vrow := pV.Row(i)
+				out := payload[offs[local]:offs[local+1]]
+				switch mode {
+				case OneBatch:
+					// s := pad(0); V accumulates s; ciphertexts for t>=1 are
+					// (Value(t)*r - s) XOR pad(t).
+					s := rg.FromBytesFull(blk.Pad(local, 0, 8))
+					vrow[0] = rg.Add(vrow[0], s)
+					r := R.At(j, 0)
+					for t := 1; t < n; t++ {
+						m := rg.Sub(rg.Mul(c.vals[f][t], r), s)
+						copy(out[(t-1)*elemBytes:], xorRingElem(rg, m, blk.Pad(local, t, elemBytes)))
 					}
-					ct := make([]byte, padBytes)
-					prg.XORBytes(ct, buf, blk.Pad(local, t, padBytes))
-					payload = append(payload, ct...)
+				case NaiveN:
+					// Fresh random s; all N ciphertexts sent.
+					s := masks[local]
+					vrow[0] = rg.Add(vrow[0], s)
+					r := R.At(j, 0)
+					for t := 0; t < n; t++ {
+						m := rg.Sub(rg.Mul(c.vals[f][t], r), s)
+						copy(out[t*elemBytes:], xorRingElem(rg, m, blk.Pad(local, t, elemBytes)))
+					}
+				case MultiBatch:
+					// One OT carries all o columns: random s_k per column,
+					// payload_t = concat_k (Value(t)*r_jk - s_k).
+					ss := masks[local*sh.O : (local+1)*sh.O]
+					rg.AddVecInPlace(vrow, ss)
+					rrow := R.Row(j)
+					for t := 0; t < n; t++ {
+						buf = buf[:0]
+						for k := 0; k < sh.O; k++ {
+							buf = rg.AppendElem(buf, rg.Sub(rg.Mul(c.vals[f][t], rrow[k]), ss[k]))
+						}
+						prg.XORBytes(out[t*padBytes:(t+1)*padBytes], buf, blk.Pad(local, t, padBytes))
+					}
 				}
 			}
+		})
+		for _, pv := range partials {
+			rg.AddVecInPlace(V.Data, pv)
 		}
 		if err := c.ot.Conn().Send(payload); err != nil {
 			return nil, fmt.Errorf("core: client send payload: %w", err)
@@ -187,6 +212,30 @@ func (c *ClientTriplets) GenerateClient(sh MatShape, R *ring.Mat, mode Mode) (*r
 		ot += chunk
 	}
 	return V, nil
+}
+
+// payloadOffsets returns the chunk+1 prefix offsets of each OT's
+// ciphertext block inside one payload flight, for the chunk starting at
+// global OT index base. Sizes depend only on public data (mode and the
+// fragment schedule), so both parties — and every worker — compute the
+// identical layout.
+func payloadOffsets(p Params, base, chunk int, mode Mode, elemBytes, padBytes int) []int {
+	gamma := p.Scheme.Gamma()
+	offs := make([]int, chunk+1)
+	for local := 0; local < chunk; local++ {
+		n := p.Scheme.FragmentN((base + local) % gamma)
+		var ct int
+		switch mode {
+		case OneBatch:
+			ct = (n - 1) * elemBytes
+		case NaiveN:
+			ct = n * elemBytes
+		case MultiBatch:
+			ct = n * padBytes
+		}
+		offs[local+1] = offs[local] + ct
+	}
+	return offs
 }
 
 // GenerateServer runs the server side for quantized weights W (m x n,
@@ -228,58 +277,53 @@ func (s *ServerTriplets) GenerateServer(sh MatShape, W []int64, mode Mode) (*rin
 		if err != nil {
 			return nil, fmt.Errorf("core: server recv payload: %w", err)
 		}
-		off := 0
-		for local := 0; local < chunk; local++ {
-			g := ot + local
-			i := g / (sh.N * gamma)
-			f := g % gamma
-			n := s.params.Scheme.FragmentN(f)
-			w := cs[local]
-			urow := U.Row(i)
-			switch mode {
-			case OneBatch:
-				ctBytes := (n - 1) * elemBytes
-				if off+ctBytes > len(payload) {
-					return nil, fmt.Errorf("core: payload truncated at OT %d", g)
-				}
-				if w == 0 {
-					// Output -s where s = pad(0); Value(0)*r = 0.
-					sPad := rg.FromBytesFull(blk.Pad(local, 8))
-					urow[0] = rg.Add(urow[0], rg.Neg(sPad))
-				} else {
-					ct := payload[off+(w-1)*elemBytes:][:elemBytes]
-					m := unxorRingElem(rg, ct, blk.Pad(local, elemBytes))
-					urow[0] = rg.Add(urow[0], m)
-				}
-				off += ctBytes
-			case NaiveN:
-				ctBytes := n * elemBytes
-				if off+ctBytes > len(payload) {
-					return nil, fmt.Errorf("core: payload truncated at OT %d", g)
-				}
-				ct := payload[off+w*elemBytes:][:elemBytes]
-				m := unxorRingElem(rg, ct, blk.Pad(local, elemBytes))
-				urow[0] = rg.Add(urow[0], m)
-				off += ctBytes
-			case MultiBatch:
-				ctBytes := n * padBytes
-				if off+ctBytes > len(payload) {
-					return nil, fmt.Errorf("core: payload truncated at OT %d", g)
-				}
-				ct := payload[off+w*padBytes:][:padBytes]
-				pad := blk.Pad(local, padBytes)
-				buf := make([]byte, padBytes)
-				prg.XORBytes(buf, ct, pad)
-				vec, _, err := rg.DecodeVec(buf, sh.O)
-				if err != nil {
-					return nil, fmt.Errorf("core: OT %d payload: %w", g, err)
-				}
-				rg.AddVecInPlace(urow, vec)
-				off += ctBytes
-			}
+		offs := payloadOffsets(s.params, ot, chunk, mode, elemBytes, padBytes)
+		if len(payload) != offs[chunk] {
+			return nil, fmt.Errorf("core: payload is %d bytes, want %d", len(payload), offs[chunk])
 		}
-		if off != len(payload) {
-			return nil, fmt.Errorf("core: %d trailing payload bytes", len(payload)-off)
+		// Mirror of the client kernel: workers decode disjoint payload
+		// spans into private partials of U, reduced below.
+		partials := make([]ring.Vec, par.NumChunks(s.params.Workers, chunk))
+		err = par.ChunksErr(s.params.Workers, chunk, func(part, lo, hi int) error {
+			pu := make(ring.Vec, sh.M*sh.O)
+			partials[part] = pu
+			pU := &ring.Mat{Rows: sh.M, Cols: sh.O, Data: pu}
+			buf := make([]byte, padBytes)
+			for local := lo; local < hi; local++ {
+				g := ot + local
+				i := g / (sh.N * gamma)
+				w := cs[local]
+				urow := pU.Row(i)
+				ct := payload[offs[local]:offs[local+1]]
+				switch mode {
+				case OneBatch:
+					if w == 0 {
+						// Output -s where s = pad(0); Value(0)*r = 0.
+						sPad := rg.FromBytesFull(blk.Pad(local, 8))
+						urow[0] = rg.Add(urow[0], rg.Neg(sPad))
+					} else {
+						m := unxorRingElem(rg, ct[(w-1)*elemBytes:][:elemBytes], blk.Pad(local, elemBytes))
+						urow[0] = rg.Add(urow[0], m)
+					}
+				case NaiveN:
+					m := unxorRingElem(rg, ct[w*elemBytes:][:elemBytes], blk.Pad(local, elemBytes))
+					urow[0] = rg.Add(urow[0], m)
+				case MultiBatch:
+					prg.XORBytes(buf, ct[w*padBytes:(w+1)*padBytes], blk.Pad(local, padBytes))
+					vec, _, err := rg.DecodeVec(buf, sh.O)
+					if err != nil {
+						return fmt.Errorf("core: OT %d payload: %w", g, err)
+					}
+					rg.AddVecInPlace(urow, vec)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, pu := range partials {
+			rg.AddVecInPlace(U.Data, pu)
 		}
 		ot += chunk
 	}

@@ -1,9 +1,11 @@
 package gc
 
 import (
+	"sync"
 	"testing"
 
 	"abnn2/internal/prg"
+	"abnn2/internal/transport"
 )
 
 func BenchmarkGarbleReLU256x32(b *testing.B) {
@@ -43,3 +45,57 @@ func BenchmarkBuildReLUCircuit(b *testing.B) {
 		_ = BatchReLUCircuit(32, 256)
 	}
 }
+
+// benchRunBatch measures a full garble+evaluate RunBatch round trip over
+// an in-process pipe at a fixed worker count; the Workers1 vs Workers8
+// ratio is the batch-garbling speedup quoted in EXPERIMENTS.md.
+func benchRunBatch(b *testing.B, workers int) {
+	ca, cb := transport.Pipe()
+	defer ca.Close()
+	var (
+		g    *Garbler
+		gerr error
+		wg   sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g, gerr = NewGarbler(ca, 99, prg.New(prg.SeedFromInt(1)))
+	}()
+	e, eerr := NewEvaluator(cb, 99, prg.New(prg.SeedFromInt(2)))
+	wg.Wait()
+	if gerr != nil || eerr != nil {
+		b.Fatalf("setup: %v %v", gerr, eerr)
+	}
+	g.SetWorkers(workers)
+	e.SetWorkers(workers)
+	const batch = 8
+	circ := BatchReLUCircuit(32, 256)
+	circs := make([]*Circuit, batch)
+	gbits := make([][]byte, batch)
+	ebits := make([][]byte, batch)
+	for i := range circs {
+		circs[i] = circ
+		gbits[i] = make([]byte, circ.NumGarbler)
+		ebits[i] = make([]byte, circ.NumEvaluator)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go func() {
+			defer inner.Done()
+			if err := g.RunBatch(circs, gbits); err != nil {
+				b.Error(err)
+			}
+		}()
+		if _, err := e.RunBatch(circs, ebits); err != nil {
+			b.Fatal(err)
+		}
+		inner.Wait()
+	}
+	b.ReportMetric(float64(batch*circ.NumAND()), "AND-gates")
+}
+
+func BenchmarkRunBatchReLUWorkers1(b *testing.B) { benchRunBatch(b, 1) }
+func BenchmarkRunBatchReLUWorkers8(b *testing.B) { benchRunBatch(b, 8) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"abnn2/internal/otext"
+	"abnn2/internal/par"
 	"abnn2/internal/prg"
 	"abnn2/internal/transport"
 )
@@ -12,15 +13,17 @@ import (
 // client in ABNN2). It owns an OT-extension sender used to deliver the
 // evaluator's input labels. Not safe for concurrent use.
 type Garbler struct {
-	conn transport.Conn
-	ot   *otext.Sender
-	rng  *prg.PRG
+	conn    transport.Conn
+	ot      *otext.Sender
+	rng     *prg.PRG
+	workers int
 }
 
 // Evaluator drives the evaluating side (the server in ABNN2).
 type Evaluator struct {
-	conn transport.Conn
-	ot   *otext.Receiver
+	conn    transport.Conn
+	ot      *otext.Receiver
+	workers int
 }
 
 // NewGarbler sets up the garbling side, running base OTs for the label
@@ -42,6 +45,20 @@ func NewEvaluator(conn transport.Conn, session uint64, rng *prg.PRG) (*Evaluator
 	return &Evaluator{conn: conn, ot: ot}, nil
 }
 
+// SetWorkers bounds the kernel parallelism of RunBatch (and of the OT
+// extension rounds underneath). 0, the default, means one worker per
+// CPU. The wire bytes are identical for every setting.
+func (g *Garbler) SetWorkers(n int) {
+	g.workers = n
+	g.ot.SetWorkers(n)
+}
+
+// SetWorkers mirrors Garbler.SetWorkers.
+func (e *Evaluator) SetWorkers(n int) {
+	e.workers = n
+	e.ot.SetWorkers(n)
+}
+
 // Run garbles c under the garbler's input bits and sends everything the
 // evaluator needs in a single flight (after receiving the OT column
 // matrix). The protocol per invocation is two flights total:
@@ -52,8 +69,55 @@ func (g *Garbler) Run(c *Circuit, garblerBits []byte) error {
 	if err != nil {
 		return err
 	}
-	// OT extension round for the evaluator's input labels.
+	return g.sendGarbled(c, garbled)
+}
+
+// RunBatch runs the garbler side for a batch of independent circuits.
+// Garbling — the CPU-heavy half — fans out across the shared worker
+// pool; the per-circuit randomness is pre-derived sequentially and the
+// wire flights go out in batch order, so the transcript is byte-for-byte
+// identical for any worker count. The evaluator must mirror the call
+// with RunBatch over the same circuits.
+func (g *Garbler) RunBatch(circs []*Circuit, bits [][]byte) error {
+	if len(circs) != len(bits) {
+		return fmt.Errorf("gc: %d circuits for %d input sets", len(circs), len(bits))
+	}
+	// One child PRG per circuit, derived in order from the garbler's
+	// stream: chunk k's labels do not depend on how many goroutines
+	// garble, only on k.
+	rngs := make([]*prg.PRG, len(circs))
+	for i := range rngs {
+		rngs[i] = g.rng.Child(fmt.Sprintf("batch/%d", i))
+	}
+	garbled := make([]*Garbled, len(circs))
+	if err := par.ChunksErr(g.workers, len(circs), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			gb, err := Garble(circs[i], bits[i], rngs[i])
+			if err != nil {
+				return err
+			}
+			garbled[i] = gb
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Communication stays sequential in batch order: one OT round plus
+	// one garbled-material flight per circuit, exactly as len(circs)
+	// consecutive Run calls would produce.
+	for i := range circs {
+		if err := g.sendGarbled(circs[i], garbled[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendGarbled performs the communication half of Run: the label OT round
+// and the single garbled-material flight.
+func (g *Garbler) sendGarbled(c *Circuit, garbled *Garbled) error {
 	var blk *otext.SenderBlock
+	var err error
 	if c.NumEvaluator > 0 {
 		blk, err = g.ot.Extend(c.NumEvaluator)
 		if err != nil {
@@ -82,11 +146,63 @@ func (g *Garbler) Run(c *Circuit, garblerBits []byte) error {
 	return nil
 }
 
+// received holds one circuit's parsed garbled material, ready to
+// evaluate.
+type received struct {
+	tables        []byte
+	garblerLabels []Label
+	evalLabels    []Label
+	decode        []byte
+}
+
 // Run evaluates c with the evaluator's input bits and returns the decoded
 // output bits.
 func (e *Evaluator) Run(c *Circuit, evalBits []byte) ([]byte, error) {
+	rcv, err := e.recvGarbled(c, evalBits)
+	if err != nil {
+		return nil, err
+	}
+	return Evaluate(c, rcv.tables, rcv.garblerLabels, rcv.evalLabels, rcv.decode)
+}
+
+// RunBatch runs the evaluator side for a batch of independent circuits,
+// mirroring Garbler.RunBatch: the per-circuit OT rounds and receives
+// happen sequentially in batch order (fixed wire order), then the
+// CPU-heavy evaluation fans out across the shared worker pool. Returns
+// the decoded output bits per circuit.
+func (e *Evaluator) RunBatch(circs []*Circuit, bits [][]byte) ([][]byte, error) {
+	if len(circs) != len(bits) {
+		return nil, fmt.Errorf("gc: %d circuits for %d input sets", len(circs), len(bits))
+	}
+	rcvs := make([]received, len(circs))
+	for i := range circs {
+		rcv, err := e.recvGarbled(circs[i], bits[i])
+		if err != nil {
+			return nil, err
+		}
+		rcvs[i] = rcv
+	}
+	outs := make([][]byte, len(circs))
+	if err := par.ChunksErr(e.workers, len(circs), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out, err := Evaluate(circs[i], rcvs[i].tables, rcvs[i].garblerLabels, rcvs[i].evalLabels, rcvs[i].decode)
+			if err != nil {
+				return err
+			}
+			outs[i] = out
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// recvGarbled performs the communication half of Run: the label OT round
+// and parsing of the garbled-material flight.
+func (e *Evaluator) recvGarbled(c *Circuit, evalBits []byte) (received, error) {
 	if len(evalBits) != c.NumEvaluator {
-		return nil, fmt.Errorf("gc: %d evaluator bits for %d wires", len(evalBits), c.NumEvaluator)
+		return received{}, fmt.Errorf("gc: %d evaluator bits for %d wires", len(evalBits), c.NumEvaluator)
 	}
 	var blk *otext.ReceiverBlock
 	if c.NumEvaluator > 0 {
@@ -97,18 +213,18 @@ func (e *Evaluator) Run(c *Circuit, evalBits []byte) ([]byte, error) {
 		var err error
 		blk, err = e.ot.Extend(choices)
 		if err != nil {
-			return nil, fmt.Errorf("gc: label OT: %w", err)
+			return received{}, fmt.Errorf("gc: label OT: %w", err)
 		}
 	}
 	msg, err := e.conn.Recv()
 	if err != nil {
-		return nil, fmt.Errorf("gc: recv garbled material: %w", err)
+		return received{}, fmt.Errorf("gc: recv garbled material: %w", err)
 	}
 	tb := c.TableBytes()
 	decodeBytes := (len(c.Outputs) + 7) / 8
 	want := tb + c.NumGarbler*LabelSize + decodeBytes + c.NumEvaluator*2*LabelSize
 	if len(msg) != want {
-		return nil, fmt.Errorf("gc: garbled material is %d bytes, want %d", len(msg), want)
+		return received{}, fmt.Errorf("gc: garbled material is %d bytes, want %d", len(msg), want)
 	}
 	tables := msg[:tb]
 	off := tb
@@ -127,7 +243,7 @@ func (e *Evaluator) Run(c *Circuit, evalBits []byte) ([]byte, error) {
 		prg.XORBytes(evalLabels[i][:], ct, pad)
 		off += 2 * LabelSize
 	}
-	return Evaluate(c, tables, garblerLabels, evalLabels, decode)
+	return received{tables: tables, garblerLabels: garblerLabels, evalLabels: evalLabels, decode: decode}, nil
 }
 
 func packBits(bits []byte) []byte {

@@ -30,9 +30,15 @@ func benchPair(b *testing.B, code Code) (*Sender, *Receiver, func()) {
 	return snd, rcv, func() { ca.Close() }
 }
 
-func benchExtend(b *testing.B, code Code, m int) {
+func benchExtend(b *testing.B, code Code, m int) { benchExtendWorkers(b, code, m, 0) }
+
+// benchExtendWorkers pins both parties to a worker count; workers=1 is
+// the sequential baseline the parallel kernels are compared against.
+func benchExtendWorkers(b *testing.B, code Code, m, workers int) {
 	snd, rcv, done := benchPair(b, code)
 	defer done()
+	snd.SetWorkers(workers)
+	rcv.SetWorkers(workers)
 	choices := make([]int, m)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -54,6 +60,15 @@ func benchExtend(b *testing.B, code Code, m int) {
 
 func BenchmarkExtendIKNP4096(b *testing.B)  { benchExtend(b, RepetitionCode(), 4096) }
 func BenchmarkExtendKK13x4096(b *testing.B) { benchExtend(b, WalshHadamardCode(16), 4096) }
+
+// Workers=1 vs Workers=8 on a large KK13 round: the ratio is the
+// speedup quoted in EXPERIMENTS.md.
+func BenchmarkExtendKK13x65536Workers1(b *testing.B) {
+	benchExtendWorkers(b, WalshHadamardCode(256), 65536, 1)
+}
+func BenchmarkExtendKK13x65536Workers8(b *testing.B) {
+	benchExtendWorkers(b, WalshHadamardCode(256), 65536, 8)
+}
 
 func BenchmarkPadDerivation(b *testing.B) {
 	snd, rcv, done := benchPair(b, WalshHadamardCode(16))

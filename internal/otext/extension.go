@@ -2,8 +2,10 @@ package otext
 
 import (
 	"fmt"
+	"sync"
 
 	"abnn2/internal/bitmat"
+	"abnn2/internal/par"
 	"abnn2/internal/prg"
 	"abnn2/internal/transport"
 )
@@ -23,6 +25,7 @@ type Sender struct {
 	s       []byte // secret column-selection bits, WidthBits/8 bytes
 	cols    []*prg.PRG
 	counter uint64
+	workers int
 }
 
 // Receiver is the OT-extension receiver: the party whose per-OT choice
@@ -35,7 +38,17 @@ type Receiver struct {
 	cols0   []*prg.PRG
 	cols1   []*prg.PRG
 	counter uint64
+	workers int
 }
+
+// SetWorkers bounds the kernel parallelism of Extend (column PRG
+// expansion and the bit-matrix transposes). 0, the default, means one
+// worker per CPU. Any setting produces identical bytes on the wire;
+// Extend itself remains a single-goroutine call.
+func (s *Sender) SetWorkers(n int) { s.workers = n }
+
+// SetWorkers mirrors Sender.SetWorkers for the receiving role.
+func (r *Receiver) SetWorkers(n int) { r.workers = n }
 
 // NewSender performs the base-OT setup for the sending role. It samples
 // the secret s and receives one seed per code column via base OT (the
@@ -84,12 +97,21 @@ func NewReceiver(conn transport.Conn, code Code, session uint64, rng *prg.PRG) (
 // SenderBlock holds the sender's state for one Extend round of m OTs: the
 // rows q_j from which pads for any choice value are derived.
 type SenderBlock struct {
-	s       *Sender
-	q       *bitmat.Matrix // m_pad x w
-	base    uint64         // counter value of OT 0 in this block
-	m       int
-	scratch []byte // codeword buffer (hot path, reused)
-	masked  []byte // masked-row buffer (hot path, reused)
+	s    *Sender
+	q    *bitmat.Matrix // m_pad x w
+	base uint64         // counter value of OT 0 in this block
+	m    int
+	// Pad is on the hot path and called concurrently by the parallel
+	// triplet kernels; per-call buffers come from a pool so the hot loop
+	// allocates nothing and goroutines never share scratch space.
+	scratch sync.Pool // *padScratch
+}
+
+// padScratch holds the per-goroutine codeword and masked-row buffers of
+// SenderBlock.Pad.
+type padScratch struct {
+	code   []byte
+	masked []byte
 }
 
 // ReceiverBlock holds the receiver's state for one Extend round: rows t_j
@@ -115,40 +137,47 @@ func (r *Receiver) Extend(choices []int) (*ReceiverBlock, error) {
 	mPad := (m + 7) &^ 7
 	mBytes := mPad / 8
 
+	for _, c := range choices {
+		if c < 0 || c >= r.code.N() {
+			return nil, fmt.Errorf("otext: choice %d out of range [0,%d)", c, r.code.N())
+		}
+	}
 	// Code matrix: row j = C(choices[j]); padding rows use choice 0.
 	codeRows := bitmat.New(mPad, w)
-	for j := 0; j < mPad; j++ {
+	par.Map(r.workers, mPad, func(j int) {
 		c := 0
 		if j < m {
 			c = choices[j]
-			if c < 0 || c >= r.code.N() {
-				return nil, fmt.Errorf("otext: choice %d out of range [0,%d)", c, r.code.N())
-			}
 		}
 		r.code.Encode(c, codeRows.Row(j))
-	}
-	codeCols := bitmat.Transpose(codeRows) // w x mPad
+	})
+	codeCols := bitmat.TransposePar(codeRows, r.workers) // w x mPad
 
 	// Column streams: t_i from seed0, u_i = t_i XOR PRG1_i XOR c_i.
+	// Each column owns its pair of PRGs, so columns expand independently
+	// on the worker pool; the per-column PRG states advance exactly as
+	// they would sequentially, keeping the wire bytes identical.
 	tCols := bitmat.New(w, mPad)
 	u := make([]byte, w*mBytes)
-	tmp := make([]byte, mBytes)
-	for i := 0; i < w; i++ {
-		ti := tCols.Row(i)
-		r.cols0[i].Fill(ti)
-		ui := u[i*mBytes : (i+1)*mBytes]
-		r.cols1[i].Fill(tmp)
-		ci := codeCols.Row(i)
-		for k := 0; k < mBytes; k++ {
-			ui[k] = ti[k] ^ tmp[k] ^ ci[k]
+	par.Chunks(r.workers, w, func(_, lo, hi int) {
+		tmp := make([]byte, mBytes)
+		for i := lo; i < hi; i++ {
+			ti := tCols.Row(i)
+			r.cols0[i].Fill(ti)
+			ui := u[i*mBytes : (i+1)*mBytes]
+			r.cols1[i].Fill(tmp)
+			ci := codeCols.Row(i)
+			for k := 0; k < mBytes; k++ {
+				ui[k] = ti[k] ^ tmp[k] ^ ci[k]
+			}
 		}
-	}
+	})
 	if err := r.conn.Send(u); err != nil {
 		return nil, fmt.Errorf("otext: send u matrix: %w", err)
 	}
 	blk := &ReceiverBlock{
 		r:       r,
-		t:       bitmat.Transpose(tCols), // mPad x w
+		t:       bitmat.TransposePar(tCols, r.workers), // mPad x w
 		base:    r.counter,
 		m:       m,
 		choices: choices,
@@ -174,7 +203,7 @@ func (s *Sender) Extend(m int) (*SenderBlock, error) {
 		return nil, fmt.Errorf("otext: u matrix is %d bytes, want %d", len(u), w*mBytes)
 	}
 	qCols := bitmat.New(w, mPad)
-	for i := 0; i < w; i++ {
+	par.Map(s.workers, w, func(i int) {
 		qi := qCols.Row(i)
 		s.cols[i].Fill(qi)
 		if (s.s[i/8]>>(uint(i)%8))&1 == 1 {
@@ -183,13 +212,12 @@ func (s *Sender) Extend(m int) (*SenderBlock, error) {
 				qi[k] ^= ui[k]
 			}
 		}
-	}
+	})
 	blk := &SenderBlock{
-		s:       s,
-		q:       bitmat.Transpose(qCols),
-		base:    s.counter,
-		m:       m,
-		scratch: make([]byte, w/8),
+		s:    s,
+		q:    bitmat.TransposePar(qCols, s.workers),
+		base: s.counter,
+		m:    m,
 	}
 	s.counter += uint64(mPad)
 	return blk, nil
@@ -208,25 +236,30 @@ func (b *ReceiverBlock) Count() int { return b.m }
 
 // Pad returns nbytes of pad material for OT index j and candidate choice
 // value v: H(session, counter_j, q_j XOR (C(v) AND s)). The receiver can
-// compute the same bytes only for v equal to its choice at j.
+// compute the same bytes only for v equal to its choice at j. Safe for
+// concurrent use, so payload derivation can fan out across OT indices.
 func (b *SenderBlock) Pad(j, v int, nbytes int) []byte {
 	if j < 0 || j >= b.m {
 		panic(fmt.Sprintf("otext: pad index %d out of range [0,%d)", j, b.m))
 	}
 	row := b.q.Row(j)
-	b.s.code.Encode(v, b.scratch)
-	if b.masked == nil {
-		b.masked = make([]byte, len(row))
+	ps, _ := b.scratch.Get().(*padScratch)
+	if ps == nil {
+		ps = &padScratch{code: make([]byte, b.s.code.WidthBits()/8), masked: make([]byte, len(row))}
 	}
+	b.s.code.Encode(v, ps.code)
 	sbits := b.s.s
 	for k := range row {
-		b.masked[k] = row[k] ^ (b.scratch[k] & sbits[k])
+		ps.masked[k] = row[k] ^ (ps.code[k] & sbits[k])
 	}
-	return oracle.Hash(b.s.session, b.base+uint64(j), 0, b.masked, nbytes)
+	out := oracle.Hash(b.s.session, b.base+uint64(j), 0, ps.masked, nbytes)
+	b.scratch.Put(ps)
+	return out
 }
 
 // Pad returns nbytes of pad material for OT index j, valid for the choice
-// the receiver made at that index: H(session, counter_j, t_j).
+// the receiver made at that index: H(session, counter_j, t_j). Safe for
+// concurrent use (the block is read-only after Extend).
 func (b *ReceiverBlock) Pad(j, nbytes int) []byte {
 	if j < 0 || j >= b.m {
 		panic(fmt.Sprintf("otext: pad index %d out of range [0,%d)", j, b.m))

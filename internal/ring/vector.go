@@ -147,7 +147,22 @@ func (r Ring) MulMat(a, b *Mat) *Mat {
 		panic(fmt.Sprintf("ring: matmul shape mismatch %dx%d . %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewMat(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
+	r.MulMatRows(a, b, out, 0, a.Rows)
+	return out
+}
+
+// MulMatRows computes rows [lo, hi) of the product a . b into the
+// preallocated a.Rows x b.Cols matrix out. Disjoint row ranges touch
+// disjoint slices of out, so ranges may run concurrently — this is the
+// row-sliced kernel behind the parallel matmul in internal/core.
+func (r Ring) MulMatRows(a, b, out *Mat, lo, hi int) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("ring: matmul shape mismatch %dx%d . %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("ring: matmul output is %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for k := 0; k < a.Cols; k++ {
@@ -164,7 +179,6 @@ func (r Ring) MulMat(a, b *Mat) *Mat {
 			orow[j] &= r.mask
 		}
 	}
-	return out
 }
 
 // AddMat returns a+b elementwise.

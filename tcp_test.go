@@ -4,7 +4,27 @@ import (
 	"encoding/json"
 	"net"
 	"testing"
+	"time"
 )
+
+// dialRetry connects to addr with a short per-attempt timeout, retrying
+// until the overall deadline. A freshly bound listener can reject the
+// first attempt on loaded CI machines; a bounded retry keeps the test
+// deterministic without hanging on real failures.
+func dialRetry(t *testing.T, addr string, deadline time.Duration) net.Conn {
+	t.Helper()
+	var lastErr error
+	for end := time.Now().Add(deadline); time.Now().Before(end); {
+		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err == nil {
+			return c
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("dial %s: %v", addr, lastErr)
+	return nil
+}
 
 // End-to-end over real TCP, exercising the same flow as the
 // abnn2-server / abnn2-client binaries: arch handshake, then secure
@@ -36,10 +56,7 @@ func TestSecureInferenceOverTCP(t *testing.T) {
 		srvErr <- Serve(conn, qm, Config{RingBits: 64})
 	}()
 
-	tcp, err := net.Dial("tcp", ln.Addr().String())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tcp := dialRetry(t, ln.Addr().String(), 10*time.Second)
 	conn := Stream(tcp)
 	raw, err := conn.Recv()
 	if err != nil {
