@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench tables ablations accuracy fuzz clean
+.PHONY: all build test vet race bench tables ablations accuracy fuzz chaos clean
 
 all: build test
 
@@ -32,6 +32,14 @@ ablations:
 
 accuracy:
 	$(GO) run ./cmd/abnn2-bench -accuracy
+
+# Fault-injection tier under the race detector: full inference through
+# every transport fault class, disconnects at every subprotocol message
+# boundary, cancellation, and goroutine-leak checks.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestRoundTimeout' -v .
+	$(GO) test -race -count=1 -run 'DisconnectAtEveryMessage|TestOfflineSurvivesPeerDisappearing' ./internal/core
+	$(GO) test -race -count=1 ./internal/transport
 
 # Short fuzz pass over every fuzz target.
 fuzz:

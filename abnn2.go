@@ -25,9 +25,11 @@
 package abnn2
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"abnn2/internal/core"
 	"abnn2/internal/prg"
@@ -50,6 +52,15 @@ func MeteredPipe() (Conn, Conn, *transport.Meter) { return transport.MeteredPipe
 // Stream frames messages over a byte stream such as a *net.TCPConn.
 func Stream(rw io.ReadWriteCloser) Conn { return transport.NewStream(rw) }
 
+// StreamLimit is Stream with an explicit per-message frame limit,
+// enforced symmetrically on send and receive (before allocation). Use it
+// to raise the default 64 MiB bound for very large batches, or to lower
+// it for memory-constrained deployments. Both parties must configure the
+// same limit.
+func StreamLimit(rw io.ReadWriteCloser, limit int) Conn {
+	return transport.NewStreamLimit(rw, limit)
+}
+
 // Config selects protocol parameters. The zero value means: 32-bit ring,
 // fully oblivious GC ReLU.
 type Config struct {
@@ -68,6 +79,12 @@ type Config struct {
 	// different values, and every value — combined with the same Seed —
 	// yields byte-identical transcripts.
 	Workers int
+	// RoundTimeout bounds every blocking protocol round (one framed send
+	// or receive): a peer that stalls longer fails the session with a
+	// timeout error instead of wedging it forever. It does not bound a
+	// server's idle wait between batches. 0 means no per-round deadline.
+	// Purely local; the parties may configure different values.
+	RoundTimeout time.Duration
 }
 
 func (c Config) ringBits() uint {
@@ -84,6 +101,9 @@ func (c Config) validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("abnn2: negative Workers %d", c.Workers)
+	}
+	if c.RoundTimeout < 0 {
+		return fmt.Errorf("abnn2: negative RoundTimeout %v", c.RoundTimeout)
 	}
 	return nil
 }
@@ -109,13 +129,24 @@ type Arch = core.Arch
 // setup, then one offline+online round per client batch request. It
 // returns nil when the client closes the connection cleanly.
 func Serve(conn Conn, model *QuantizedModel, cfg Config) error {
-	srv, err := NewServer(conn, model, cfg)
+	return ServeContext(context.Background(), conn, model, cfg)
+}
+
+// ServeContext is Serve with lifecycle control: cancelling ctx aborts the
+// session even mid-round (a blocked send or receive is interrupted) and
+// ServeContext returns an error wrapping ctx's error. Combined with
+// Config.RoundTimeout this makes a session safe to run against an
+// untrusted client: it can fail, but it cannot hang, leak its goroutine,
+// or take the process down (peer-provoked panics surface as *PanicError).
+func ServeContext(ctx context.Context, conn Conn, model *QuantizedModel, cfg Config) error {
+	srv, err := newServer(ctx, conn, model, cfg)
 	if err != nil {
 		return err
 	}
+	defer srv.sc.release()
 	for {
 		err := srv.HandleBatch()
-		if errors.Is(err, transport.ErrClosed) || errors.Is(err, io.EOF) {
+		if errors.Is(err, io.EOF) {
 			return nil // client hung up cleanly between batches
 		}
 		if err != nil {
@@ -126,57 +157,80 @@ func Serve(conn Conn, model *QuantizedModel, cfg Config) error {
 
 // Server is the model owner's endpoint.
 type Server struct {
-	eng  *core.ServerEngine
-	conn Conn
+	eng *core.ServerEngine
+	sc  *sessionConn
 }
 
 // NewServer performs the cryptographic setup (base OTs) for the server
 // role.
 func NewServer(conn Conn, model *QuantizedModel, cfg Config) (*Server, error) {
+	return newServer(context.Background(), conn, model, cfg)
+}
+
+func newServer(ctx context.Context, conn Conn, model *QuantizedModel, cfg Config) (*Server, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	sc := newSessionConn(ctx, conn, cfg.RoundTimeout)
 	scheme := model.qm.Layers[0].Scheme
 	p := core.Params{Ring: ring.New(cfg.ringBits()), Scheme: scheme, Workers: cfg.Workers}
-	eng, err := core.NewServerEngine(conn, model.qm, p, cfg.variant())
+	eng, err := guardVal("server setup", func() (*core.ServerEngine, error) {
+		return core.NewServerEngine(sc, model.qm, p, cfg.variant())
+	})
 	if err != nil {
+		sc.release()
 		return nil, err
 	}
-	return &Server{eng: eng, conn: conn}, nil
+	return &Server{eng: eng, sc: sc}, nil
 }
+
+// Close releases the server endpoint: it stops the session's
+// cancellation watcher and closes the connection. Safe to call more than
+// once.
+func (s *Server) Close() error { return s.sc.Close() }
 
 // HandleBatch serves one prediction batch: it receives the client's batch
 // announcement (size + output mode), runs the offline phase, then the
-// online phase.
+// online phase. The announcement wait is idle time (no round deadline);
+// everything after it is deadline-bounded when RoundTimeout is set.
+//
+// A client that hangs up between batches is a clean shutdown, reported
+// as io.EOF; a connection lost mid-batch is a protocol failure and
+// surfaces as a non-EOF error.
 func (s *Server) HandleBatch() error {
-	raw, err := s.conn.Recv()
+	raw, err := s.sc.recvIdle()
 	if err != nil {
+		if errors.Is(err, transport.ErrClosed) || errors.Is(err, io.EOF) {
+			return io.EOF
+		}
 		return err
 	}
-	if len(raw) != 5 {
-		return fmt.Errorf("abnn2: malformed batch announcement")
-	}
-	batch := int(uint32(raw[0]) | uint32(raw[1])<<8 | uint32(raw[2])<<16 | uint32(raw[3])<<24)
-	if batch <= 0 || batch > 1<<20 {
-		return fmt.Errorf("abnn2: batch size %d out of range", batch)
-	}
-	argmax := raw[4] == 1
-	if raw[4] > 1 {
-		return fmt.Errorf("abnn2: unknown output mode %d", raw[4])
-	}
-	if err := s.eng.Offline(batch); err != nil {
-		return err
-	}
-	if argmax {
-		return s.eng.OnlineArgmax()
-	}
-	return s.eng.Online()
+	return guard("handle batch", func() error {
+		if len(raw) != 5 {
+			return fmt.Errorf("abnn2: malformed batch announcement")
+		}
+		batch := int(uint32(raw[0]) | uint32(raw[1])<<8 | uint32(raw[2])<<16 | uint32(raw[3])<<24)
+		if batch <= 0 || batch > 1<<20 {
+			return fmt.Errorf("abnn2: batch size %d out of range", batch)
+		}
+		argmax := raw[4] == 1
+		if raw[4] > 1 {
+			return fmt.Errorf("abnn2: unknown output mode %d", raw[4])
+		}
+		if err := s.eng.Offline(batch); err != nil {
+			return err
+		}
+		if argmax {
+			return s.eng.OnlineArgmax()
+		}
+		return s.eng.Online()
+	})
 }
 
 // Client is the data owner's endpoint.
 type Client struct {
 	eng  *core.ClientEngine
-	conn Conn
+	sc   *sessionConn
 	arch Arch
 	rg   ring.Ring
 	frac uint
@@ -186,6 +240,14 @@ type Client struct {
 // match the server's model (it is public information, including the
 // quantization scheme name).
 func Dial(conn Conn, arch Arch, cfg Config) (*Client, error) {
+	return DialContext(context.Background(), conn, arch, cfg)
+}
+
+// DialContext is Dial with lifecycle control: ctx governs the whole
+// client session, not just setup. Cancelling it aborts any in-flight
+// protocol round; subsequent calls fail immediately. Callers should
+// Close the client when done so the cancellation watcher is released.
+func DialContext(ctx context.Context, conn Conn, arch Arch, cfg Config) (*Client, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -193,14 +255,23 @@ func Dial(conn Conn, arch Arch, cfg Config) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("abnn2: architecture scheme: %w", err)
 	}
+	sc := newSessionConn(ctx, conn, cfg.RoundTimeout)
 	rg := ring.New(cfg.ringBits())
 	p := core.Params{Ring: rg, Scheme: scheme, Workers: cfg.Workers}
-	eng, err := core.NewClientEngine(conn, arch, p, cfg.variant(), cfg.rng())
+	eng, err := guardVal("client setup", func() (*core.ClientEngine, error) {
+		return core.NewClientEngine(sc, arch, p, cfg.variant(), cfg.rng())
+	})
 	if err != nil {
+		sc.release()
 		return nil, err
 	}
-	return &Client{eng: eng, conn: conn, arch: arch, rg: rg, frac: arch.Frac}, nil
+	return &Client{eng: eng, sc: sc, arch: arch, rg: rg, frac: arch.Frac}, nil
 }
+
+// Close releases the client endpoint: it stops the session's
+// cancellation watcher and closes the connection. Safe to call more than
+// once.
+func (c *Client) Close() error { return c.sc.Close() }
 
 // Classify securely evaluates the model on a batch of float inputs and
 // returns the predicted class indices (computed locally from the full
@@ -227,33 +298,37 @@ func (c *Client) Classify(inputs [][]float64) ([]int, error) {
 // client learns only the winning class per input — not the scores — and
 // the server still learns nothing. Costs one extra GC round.
 func (c *Client) ClassifyPrivate(inputs [][]float64) ([]int, error) {
-	X, err := c.encodeBatch(inputs)
-	if err != nil {
-		return nil, err
-	}
-	if err := c.announce(len(inputs), 1); err != nil {
-		return nil, err
-	}
-	if err := c.eng.Offline(len(inputs)); err != nil {
-		return nil, err
-	}
-	return c.eng.PredictArgmax(X)
+	return guardVal("private classification", func() ([]int, error) {
+		X, err := c.encodeBatch(inputs)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.announce(len(inputs), 1); err != nil {
+			return nil, err
+		}
+		if err := c.eng.Offline(len(inputs)); err != nil {
+			return nil, err
+		}
+		return c.eng.PredictArgmax(X)
+	})
 }
 
 // Infer securely evaluates the model and returns the raw ring outputs
 // (one column per input). Most callers want Classify.
 func (c *Client) Infer(inputs [][]float64) (*ring.Mat, error) {
-	X, err := c.encodeBatch(inputs)
-	if err != nil {
-		return nil, err
-	}
-	if err := c.announce(len(inputs), 0); err != nil {
-		return nil, err
-	}
-	if err := c.eng.Offline(len(inputs)); err != nil {
-		return nil, err
-	}
-	return c.eng.Predict(X)
+	return guardVal("inference", func() (*ring.Mat, error) {
+		X, err := c.encodeBatch(inputs)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.announce(len(inputs), 0); err != nil {
+			return nil, err
+		}
+		if err := c.eng.Offline(len(inputs)); err != nil {
+			return nil, err
+		}
+		return c.eng.Predict(X)
+	})
 }
 
 func (c *Client) encodeBatch(inputs [][]float64) (*ring.Mat, error) {
@@ -277,5 +352,5 @@ func (c *Client) encodeBatch(inputs [][]float64) (*ring.Mat, error) {
 
 func (c *Client) announce(batch int, mode byte) error {
 	ann := []byte{byte(batch), byte(batch >> 8), byte(batch >> 16), byte(batch >> 24), mode}
-	return c.conn.Send(ann)
+	return c.sc.Send(ann)
 }

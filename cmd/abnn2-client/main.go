@@ -2,17 +2,22 @@
 // architecture, and requests secure predictions for synthetic inputs.
 // The server never sees the inputs; the client never sees the weights.
 //
+// The connect is retried with capped exponential backoff until
+// -dial-timeout expires, so the client can be started before (or
+// concurrently with) the server; -round-timeout bounds each protocol
+// round once connected.
+//
 // Usage:
 //
 //	abnn2-client -connect localhost:9000 -n 4
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"time"
 
 	"abnn2"
@@ -25,16 +30,19 @@ func main() {
 	optRelu := flag.Bool("optimized-relu", false, "must match the server's setting")
 	seed := flag.Uint64("dataset-seed", 7, "synthetic dataset seed")
 	workers := flag.Int("workers", 0, "worker goroutines for protocol kernels (0 = one per CPU)")
+	dialTimeout := flag.Duration("dial-timeout", 30*time.Second, "total connect budget including retries")
+	roundTimeout := flag.Duration("round-timeout", time.Minute, "per-round protocol deadline (0 = unbounded)")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("abnn2-client: ")
 
-	tcp, err := net.Dial("tcp", *addr)
+	ctx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
+	defer cancel()
+	conn, err := abnn2.DialTCP(ctx, *addr)
 	if err != nil {
 		log.Fatalf("dial: %v", err)
 	}
-	defer tcp.Close()
-	conn := abnn2.Stream(tcp)
+	defer conn.Close()
 	raw, err := conn.Recv()
 	if err != nil {
 		log.Fatalf("recv architecture: %v", err)
@@ -46,10 +54,17 @@ func main() {
 	fmt.Printf("architecture: %d layers, input %d, output %d, scheme %s\n",
 		len(arch.Layers), arch.InputSize(), arch.OutputSize(), arch.SchemeName)
 
-	client, err := abnn2.Dial(conn, arch, abnn2.Config{RingBits: *ringBits, OptimizedReLU: *optRelu, Workers: *workers})
+	cfg := abnn2.Config{
+		RingBits:      *ringBits,
+		OptimizedReLU: *optRelu,
+		Workers:       *workers,
+		RoundTimeout:  *roundTimeout,
+	}
+	client, err := abnn2.Dial(conn, arch, cfg)
 	if err != nil {
 		log.Fatalf("setup: %v", err)
 	}
+	defer client.Close()
 	ds := abnn2.SyntheticDataset(*n, *seed)
 	start := time.Now()
 	classes, err := client.Classify(ds.Inputs)

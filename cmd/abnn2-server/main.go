@@ -4,6 +4,14 @@
 // precision — never weights), then answers secure inference batches until
 // the client disconnects.
 //
+// The server is built to survive hostile or broken clients: each
+// connection is served in its own goroutine with panics contained at the
+// session boundary, protocol rounds are bounded by -round-timeout so a
+// stalled peer cannot pin a worker forever, concurrent sessions are
+// capped by -max-conns, and SIGINT/SIGTERM triggers a graceful drain —
+// no new connections, in-flight batches run to completion within
+// -grace, then remaining sessions are aborted.
+//
 // Usage:
 //
 //	abnn2-train -out model.json
@@ -11,11 +19,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
 
 	"abnn2"
 )
@@ -26,6 +39,10 @@ func main() {
 	ringBits := flag.Uint("ring", 64, "share ring bit width l")
 	optRelu := flag.Bool("optimized-relu", false, "use the sign-leaking optimized ReLU (section 4.2)")
 	workers := flag.Int("workers", 0, "worker goroutines for protocol kernels (0 = one per CPU)")
+	maxConns := flag.Int("max-conns", 16, "maximum concurrent client sessions")
+	roundTimeout := flag.Duration("round-timeout", time.Minute, "per-round protocol deadline (0 = unbounded)")
+	grace := flag.Duration("grace", 30*time.Second, "drain period for in-flight sessions on shutdown")
+	maxMsg := flag.Int("max-message", 0, "per-message size limit in bytes (0 = default 64 MiB)")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("abnn2-server: ")
@@ -38,7 +55,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("parse model: %v", err)
 	}
-	cfg := abnn2.Config{RingBits: *ringBits, OptimizedReLU: *optRelu, Workers: *workers}
+	cfg := abnn2.Config{
+		RingBits:      *ringBits,
+		OptimizedReLU: *optRelu,
+		Workers:       *workers,
+		RoundTimeout:  *roundTimeout,
+	}
 	archJSON, err := json.Marshal(qm.Arch())
 	if err != nil {
 		log.Fatalf("marshal arch: %v", err)
@@ -48,26 +70,82 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("serving %s model (%s) on %s, ring=%d relu-optimized=%v",
-		*modelPath, qm.Scheme(), ln.Addr(), *ringBits, *optRelu)
+	log.Printf("serving %s model (%s) on %s, ring=%d relu-optimized=%v max-conns=%d round-timeout=%v",
+		*modelPath, qm.Scheme(), ln.Addr(), *ringBits, *optRelu, *maxConns, *roundTimeout)
+
+	// Shutdown protocol: the signal closes the listener (unblocking
+	// Accept); in-flight sessions keep their own context so they can
+	// finish within the grace period before being cancelled.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	connCtx, abortConns := context.WithCancel(context.Background())
+	defer abortConns()
+	go func() {
+		<-sigCtx.Done()
+		ln.Close()
+	}()
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, *maxConns)
+	var acceptDelay time.Duration
 	for {
 		tcp, err := ln.Accept()
 		if err != nil {
-			log.Fatalf("accept: %v", err)
+			if sigCtx.Err() != nil {
+				break // shutting down; the listener was closed on purpose
+			}
+			// Transient accept failures (fd exhaustion, aborted handshakes)
+			// must not kill a server with live sessions: back off and retry.
+			if acceptDelay == 0 {
+				acceptDelay = 50 * time.Millisecond
+			} else if acceptDelay *= 2; acceptDelay > time.Second {
+				acceptDelay = time.Second
+			}
+			log.Printf("accept: %v; retrying in %v", err, acceptDelay)
+			time.Sleep(acceptDelay)
+			continue
 		}
+		acceptDelay = 0
+		select {
+		case sem <- struct{}{}:
+		default:
+			log.Printf("%s: rejected, at capacity (%d sessions)", tcp.RemoteAddr(), *maxConns)
+			tcp.Close()
+			continue
+		}
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
 			defer tcp.Close()
-			conn := abnn2.Stream(tcp)
+			conn := abnn2.StreamLimit(tcp, *maxMsg)
 			if err := conn.Send(archJSON); err != nil {
 				log.Printf("%s: send arch: %v", tcp.RemoteAddr(), err)
 				return
 			}
 			log.Printf("%s: connected", tcp.RemoteAddr())
-			if err := abnn2.Serve(conn, qm, cfg); err != nil {
+			// ServeContext contains panics from malformed peer data and
+			// enforces the round deadline, so one bad client costs at most
+			// its own session.
+			if err := abnn2.ServeContext(connCtx, conn, qm, cfg); err != nil {
 				log.Printf("%s: %v", tcp.RemoteAddr(), err)
 				return
 			}
 			log.Printf("%s: done", tcp.RemoteAddr())
 		}()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		log.Printf("shutdown: all sessions drained")
+	case <-time.After(*grace):
+		log.Printf("shutdown: grace period %v expired, aborting in-flight sessions", *grace)
+		abortConns()
+		<-done
 	}
 }

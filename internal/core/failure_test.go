@@ -1,9 +1,11 @@
 package core
 
 import (
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"abnn2/internal/gc"
 	"abnn2/internal/nn"
@@ -122,6 +124,135 @@ func TestOfflineSurvivesPeerDisappearing(t *testing.T) {
 	wg.Wait()
 	if err == nil {
 		t.Fatal("server succeeded against a vanished peer")
+	}
+}
+
+// runTriplets runs one full triplet session (base-OT setup + extension +
+// payload round) with each side's connection wrapped per the given fault
+// plans, returning both parties' errors. A nil-class plan is a clean run.
+func runTripletsFaulted(t *testing.T, cliPlan, srvPlan transport.FaultPlan) (cliErr, srvErr error, cliConn, srvConn *transport.FaultConn) {
+	t.Helper()
+	p := Params{Ring: ring.New(32), Scheme: quant.Binary()}
+	shape := MatShape{M: 2, N: 2, O: 1}
+	ca, cb := transport.Pipe()
+	fc := transport.Fault(ca, cliPlan)
+	fs := transport.Fault(cb, srvPlan)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ct, err := NewClientTriplets(fc, p, sessionTriplets, prg.New(prg.SeedFromInt(11)))
+		if err == nil {
+			_, err = ct.GenerateClient(shape, ring.NewMat(shape.N, shape.O), OneBatch)
+		}
+		cliErr = err
+	}()
+	st, err := NewServerTriplets(fs, p, sessionTriplets)
+	if err == nil {
+		_, err = st.GenerateServer(shape, []int64{0, 1, 1, 0}, OneBatch)
+	}
+	srvErr = err
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		buf := make([]byte, 1<<20)
+		t.Fatalf("triplet run hung:\n%s", buf[:runtime.Stack(buf, true)])
+	}
+	fc.Close()
+	return cliErr, srvErr, fc, fs
+}
+
+// TestTripletsSurviveDisconnectAtEveryMessage closes the connection at
+// every message boundary of the triplet protocol, on each side in turn.
+// Whatever the cut point — mid base-OT, mid extension, or during the
+// payload round — both parties must return an error rather than hang:
+// the disconnecting side sees its own send fail, the survivor sees the
+// hangup on its next wire operation.
+func TestTripletsSurviveDisconnectAtEveryMessage(t *testing.T) {
+	cliErr, srvErr, fc, fs := runTripletsFaulted(t, transport.FaultPlan{}, transport.FaultPlan{})
+	if cliErr != nil || srvErr != nil {
+		t.Fatalf("clean run failed: client=%v server=%v", cliErr, srvErr)
+	}
+	cliSends, srvSends := fc.Sends(), fs.Sends()
+	t.Logf("triplet session: client sends %d messages, server sends %d", cliSends, srvSends)
+	for i := 0; i < cliSends; i++ {
+		cliErr, srvErr, _, _ := runTripletsFaulted(t,
+			transport.FaultPlan{Class: transport.FaultDisconnect, Message: i},
+			transport.FaultPlan{})
+		if cliErr == nil || srvErr == nil {
+			t.Errorf("client disconnect at message %d: client=%v server=%v (both should error)", i, cliErr, srvErr)
+		}
+	}
+	for i := 0; i < srvSends; i++ {
+		cliErr, srvErr, _, _ := runTripletsFaulted(t,
+			transport.FaultPlan{},
+			transport.FaultPlan{Class: transport.FaultDisconnect, Message: i})
+		if cliErr == nil || srvErr == nil {
+			t.Errorf("server disconnect at message %d: client=%v server=%v (both should error)", i, cliErr, srvErr)
+		}
+	}
+}
+
+// runReLUFaulted runs one full nonlinear session (base-OT setup + a
+// batched ReLU) under the given fault plans.
+func runReLUFaulted(t *testing.T, variant ReLUVariant, cliPlan, srvPlan transport.FaultPlan) (cliErr, srvErr error, cliConn, srvConn *transport.FaultConn) {
+	t.Helper()
+	rg := ring.New(32)
+	n := 8
+	ca, cb := transport.Pipe()
+	fc := transport.Fault(ca, cliPlan)
+	fs := transport.Fault(cb, srvPlan)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cn, err := NewClientNonlinear(fc, rg, sessionGC, prg.New(prg.SeedFromInt(21)))
+		if err == nil {
+			rng := prg.New(prg.SeedFromInt(22))
+			err = cn.ReLUClient(variant, rng.Vec(rg, n), rng.Vec(rg, n))
+		}
+		cliErr = err
+	}()
+	sn, err := NewServerNonlinear(fs, rg, sessionGC, prg.New(prg.SeedFromInt(23)))
+	if err == nil {
+		rng := prg.New(prg.SeedFromInt(24))
+		_, err = sn.ReLUServer(variant, rng.Vec(rg, n))
+	}
+	srvErr = err
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		buf := make([]byte, 1<<20)
+		t.Fatalf("ReLU run hung:\n%s", buf[:runtime.Stack(buf, true)])
+	}
+	fc.Close()
+	return cliErr, srvErr, fc, fs
+}
+
+// TestReLUSurvivesDisconnectAtEveryMessage is the ReLU counterpart: both
+// GC variants, every message boundary, each side in turn.
+func TestReLUSurvivesDisconnectAtEveryMessage(t *testing.T) {
+	for _, variant := range []ReLUVariant{ReLUGC, ReLUOptimized} {
+		cliErr, srvErr, fc, fs := runReLUFaulted(t, variant, transport.FaultPlan{}, transport.FaultPlan{})
+		if cliErr != nil || srvErr != nil {
+			t.Fatalf("variant %v clean run failed: client=%v server=%v", variant, cliErr, srvErr)
+		}
+		cliSends, srvSends := fc.Sends(), fs.Sends()
+		t.Logf("variant %v: client sends %d messages, server sends %d", variant, cliSends, srvSends)
+		for i := 0; i < cliSends; i++ {
+			cliErr, srvErr, _, _ := runReLUFaulted(t, variant,
+				transport.FaultPlan{Class: transport.FaultDisconnect, Message: i},
+				transport.FaultPlan{})
+			if cliErr == nil || srvErr == nil {
+				t.Errorf("variant %v, client disconnect at message %d: client=%v server=%v", variant, i, cliErr, srvErr)
+			}
+		}
+		for i := 0; i < srvSends; i++ {
+			cliErr, srvErr, _, _ := runReLUFaulted(t, variant,
+				transport.FaultPlan{},
+				transport.FaultPlan{Class: transport.FaultDisconnect, Message: i})
+			if cliErr == nil || srvErr == nil {
+				t.Errorf("variant %v, server disconnect at message %d: client=%v server=%v", variant, i, cliErr, srvErr)
+			}
+		}
 	}
 }
 

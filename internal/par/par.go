@@ -24,7 +24,9 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -101,9 +103,27 @@ func Chunks(workers, n int, fn func(c, lo, hi int)) {
 	})
 }
 
+// ChunkPanic is the value re-panicked on the calling goroutine when a
+// range body panics on a pool worker. Containing the panic inside the
+// pool and rethrowing it on the submitter keeps panic semantics intact
+// (callers may still recover) while guaranteeing that a poisoned chunk —
+// e.g. a shape mismatch provoked by malformed peer data — can never kill
+// an unrelated goroutine or the whole process from inside the shared
+// pool.
+type ChunkPanic struct {
+	Value any    // the original panic value
+	Stack []byte // stack of the panicking chunk
+}
+
+func (p *ChunkPanic) Error() string {
+	return fmt.Sprintf("par: chunk panicked: %v", p.Value)
+}
+
 // ChunksErr is Chunks for range bodies that can fail. Every chunk runs
 // to completion; the error of the lowest-numbered failing chunk is
-// returned, so the result is deterministic even when several fail.
+// returned, so the result is deterministic even when several fail. A
+// panicking chunk is re-panicked on the calling goroutine as a
+// *ChunkPanic (again lowest-numbered first), never on a pool worker.
 func ChunksErr(workers, n int, fn func(c, lo, hi int) error) error {
 	k := NumChunks(workers, n)
 	if k == 0 {
@@ -113,6 +133,7 @@ func ChunksErr(workers, n int, fn func(c, lo, hi int) error) error {
 		return fn(0, 0, n)
 	}
 	errs := make([]error, k)
+	panics := make([]*ChunkPanic, k)
 	var wg sync.WaitGroup
 	for c := 0; c < k-1; c++ {
 		c := c
@@ -120,11 +141,30 @@ func ChunksErr(workers, n int, fn func(c, lo, hi int) error) error {
 		wg.Add(1)
 		submit(func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[c] = &ChunkPanic{Value: r, Stack: debug.Stack()}
+				}
+			}()
 			errs[c] = fn(c, lo, hi)
 		})
 	}
-	errs[k-1] = fn(k-1, (k-1)*n/k, n)
+	// The final chunk runs on the calling goroutine; its panics are
+	// captured too so all chunks finish (wg.Wait) before any rethrow.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panics[k-1] = &ChunkPanic{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		errs[k-1] = fn(k-1, (k-1)*n/k, n)
+	}()
 	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

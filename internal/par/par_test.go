@@ -199,3 +199,51 @@ func FuzzParMap(f *testing.F) {
 		}
 	})
 }
+
+// A panic inside a pool-run chunk must re-panic on the calling goroutine
+// as *ChunkPanic — never crash a pool worker — so a session-layer recover
+// can contain it.
+func TestChunkPanicRethrownOnCaller(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				if workers > 1 {
+					cp, ok := r.(*ChunkPanic)
+					if !ok {
+						t.Fatalf("workers=%d: recovered %T, want *ChunkPanic", workers, r)
+					}
+					if cp.Value != "boom" || len(cp.Stack) == 0 {
+						t.Fatalf("workers=%d: ChunkPanic = %+v", workers, cp)
+					}
+				}
+			}()
+			Chunks(workers, 64, func(c, lo, hi int) {
+				if lo <= 13 && 13 < hi {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+// All chunks run to completion even when one panics: no goroutine is
+// abandoned mid-wait and the lowest-numbered panic wins deterministically.
+func TestChunkPanicDeterministicAndComplete(t *testing.T) {
+	var ran int32
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected panic")
+		}
+		if n := atomic.LoadInt32(&ran); n != 8 {
+			t.Fatalf("%d chunks ran, want 8", n)
+		}
+	}()
+	ChunksErr(8, 8, func(c, lo, hi int) error {
+		atomic.AddInt32(&ran, 1)
+		panic(c)
+	})
+}

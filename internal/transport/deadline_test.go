@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestPipeDeadlineExpiresRecv(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	_ = b
+	if err := a.SetDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := a.Recv()
+	if !errors.Is(err, ErrTimeout) || !IsTimeout(err) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline wildly late")
+	}
+}
+
+func TestPipeDeadlineAbortsBlockedRecv(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	_ = b
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Recv()
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	a.SetDeadline(time.Now()) // past deadline must abort the in-flight Recv
+	select {
+	case err := <-done:
+		if !IsTimeout(err) {
+			t.Fatalf("err = %v, want timeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not unblock on past deadline")
+	}
+}
+
+func TestPipeDeadlineClearRearms(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	a.SetDeadline(time.Now().Add(-time.Second))
+	if _, err := a.Recv(); !IsTimeout(err) {
+		t.Fatalf("expired deadline: err = %v", err)
+	}
+	a.SetDeadline(time.Time{}) // clear
+	go b.Send([]byte("late"))
+	msg, err := a.Recv()
+	if err != nil || string(msg) != "late" {
+		t.Fatalf("after clear: %q, %v", msg, err)
+	}
+}
+
+func TestPipeDeadlineExpiresSendWhenFull(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	_ = b
+	a.SetDeadline(time.Now().Add(30 * time.Millisecond))
+	// Fill the buffered channel until Send blocks, then require a timeout.
+	var err error
+	for i := 0; i < 2000; i++ {
+		if err = a.Send([]byte{1}); err != nil {
+			break
+		}
+	}
+	if !IsTimeout(err) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+func TestStreamDeadlineDelegates(t *testing.T) {
+	na, nb := net.Pipe() // net.Pipe supports deadlines
+	defer nb.Close()
+	sc := NewStream(na)
+	defer sc.Close()
+	sc.SetDeadline(time.Now().Add(30 * time.Millisecond))
+	_, err := sc.Recv()
+	if !IsTimeout(err) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+func TestStreamDeadlineUnsupported(t *testing.T) {
+	sc := NewStream(&memStream{r: bytes.NewReader(nil)})
+	if err := sc.SetDeadline(time.Now()); !errors.Is(err, ErrDeadlineUnsupported) {
+		t.Fatalf("err = %v, want ErrDeadlineUnsupported", err)
+	}
+}
+
+func TestStreamLimitSymmetric(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewStreamLimit(&bufStream{w: &buf}, 16)
+	if err := w.Send(make([]byte, 17)); err == nil {
+		t.Fatal("oversize send accepted under custom limit")
+	}
+	if err := w.Send(make([]byte, 16)); err != nil {
+		t.Fatalf("in-limit send rejected: %v", err)
+	}
+
+	// A peer announcing a frame over the limit must be rejected before the
+	// body is read (or allocated).
+	var frame bytes.Buffer
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 17)
+	frame.Write(hdr[:])
+	frame.Write(make([]byte, 17))
+	r := NewStreamLimit(&memStream{r: bytes.NewReader(frame.Bytes())}, 16)
+	if _, err := r.Recv(); err == nil {
+		t.Fatal("oversize announcement accepted under custom limit")
+	}
+
+	// A raised limit admits frames the default would also admit.
+	big := NewStreamLimit(&bufStream{w: &buf}, MaxMessageSize*2)
+	if err := big.Send(make([]byte, MaxMessageSize+1)); err != nil {
+		t.Fatalf("raised limit still rejects: %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultNoneCountsSends(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	fc := Fault(a, FaultPlan{Class: FaultNone})
+	go func() {
+		for i := 0; i < 3; i++ {
+			b.Recv()
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if err := fc.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fc.Sends() != 3 || fc.Fired() {
+		t.Fatalf("sends=%d fired=%v", fc.Sends(), fc.Fired())
+	}
+}
+
+func TestFaultTruncate(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	fc := Fault(a, FaultPlan{Class: FaultTruncate, Message: 1})
+	go func() {
+		fc.Send([]byte("whole"))
+		fc.Send([]byte("truncated"))
+	}()
+	m1, _ := b.Recv()
+	m2, _ := b.Recv()
+	if string(m1) != "whole" {
+		t.Fatalf("message 0 touched: %q", m1)
+	}
+	if len(m2) != len("truncated")/2 {
+		t.Fatalf("message 1 is %d bytes, want %d", len(m2), len("truncated")/2)
+	}
+	if !fc.Fired() {
+		t.Fatal("fault not marked fired")
+	}
+}
+
+func TestFaultCorruptDeterministic(t *testing.T) {
+	orig := bytes.Repeat([]byte{0x5a}, 64)
+	run := func(seed uint64) []byte {
+		a, b := Pipe()
+		defer a.Close()
+		fc := Fault(a, FaultPlan{Class: FaultCorrupt, Message: 0, Seed: seed})
+		go fc.Send(orig)
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m1, m2 := run(7), run(7)
+	if bytes.Equal(m1, orig) {
+		t.Fatal("corruption changed nothing")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if bytes.Equal(run(8), m1) {
+		t.Fatal("different seed produced identical corruption")
+	}
+	// The sender's buffer must not be modified in place.
+	if !bytes.Equal(orig, bytes.Repeat([]byte{0x5a}, 64)) {
+		t.Fatal("corrupt mutated the caller's buffer")
+	}
+}
+
+func TestFaultDropLeavesPeerWaiting(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	fc := Fault(a, FaultPlan{Class: FaultDrop, Message: 0})
+	if err := fc.Send([]byte("gone")); err != nil {
+		t.Fatalf("drop must report success to the sender, got %v", err)
+	}
+	b.SetDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := b.Recv(); !IsTimeout(err) {
+		t.Fatalf("peer err = %v, want timeout (message dropped)", err)
+	}
+}
+
+func TestFaultDisconnect(t *testing.T) {
+	a, b := Pipe()
+	fc := Fault(a, FaultPlan{Class: FaultDisconnect, Message: 0})
+	if err := fc.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sender err = %v, want ErrClosed", err)
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("peer err = %v, want ErrClosed", err)
+	}
+}
+
+func TestFaultDelay(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	const delay = 60 * time.Millisecond
+	fc := Fault(a, FaultPlan{Class: FaultDelay, Message: 0, Delay: delay})
+	start := time.Now()
+	go fc.Send([]byte("slow"))
+	m, err := b.Recv()
+	if err != nil || string(m) != "slow" {
+		t.Fatalf("recv %q, %v", m, err)
+	}
+	if d := time.Since(start); d < delay {
+		t.Fatalf("message arrived after %v, want >= %v", d, delay)
+	}
+}

@@ -1,0 +1,168 @@
+package abnn2
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"abnn2/internal/par"
+	"abnn2/internal/transport"
+)
+
+// Session hardening: every blocking wire operation of a protocol session
+// runs through a sessionConn, which arms a per-round deadline
+// (Config.RoundTimeout), aborts mid-round on context cancellation, and
+// maps both conditions to useful errors. Panics provoked by malformed
+// peer data deeper in the stack are caught at the same boundary by
+// guard/guardVal and converted to *PanicError, so one bad peer can
+// never hang or kill a process that serves others.
+
+// PanicError is a panic converted to an error at the session boundary.
+// Protocol code validates peer messages and returns errors for malformed
+// data it anticipates; PanicError is the backstop for the cases it does
+// not — typically a shape or size invariant deep in the numeric layers
+// violated by a hostile or buggy peer.
+type PanicError struct {
+	Op    string // the session operation that panicked, e.g. "handle batch"
+	Value any    // the original panic value
+	Stack []byte // stack of the panicking goroutine
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("abnn2: panic during %s (malformed peer data?): %v", e.Op, e.Value)
+}
+
+// guard runs fn, converting a panic — including one rethrown from a
+// worker-pool chunk — into a *PanicError.
+func guard(op string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = recoveredError(op, r)
+		}
+	}()
+	return fn()
+}
+
+// guardVal is guard for operations that return a value.
+func guardVal[T any](op string, fn func() (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			v, err = zero, recoveredError(op, r)
+		}
+	}()
+	return fn()
+}
+
+func recoveredError(op string, r any) *PanicError {
+	if cp, ok := r.(*par.ChunkPanic); ok {
+		return &PanicError{Op: op, Value: cp.Value, Stack: cp.Stack}
+	}
+	return &PanicError{Op: op, Value: r, Stack: debug.Stack()}
+}
+
+// sessionConn wraps the protocol connection of one session. Before each
+// blocking operation it arms a deadline of now+RoundTimeout (when
+// configured); a cancellation watcher aborts in-flight operations by
+// setting an immediate deadline when the session context is cancelled.
+type sessionConn struct {
+	inner    Conn
+	timeout  time.Duration
+	ctx      context.Context
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// newSessionConn wraps conn. The watcher goroutine (only started for
+// cancellable contexts) exits when the context fires or the session is
+// released — Close and release are both sufficient, so sessions never
+// leak goroutines.
+func newSessionConn(ctx context.Context, conn Conn, timeout time.Duration) *sessionConn {
+	c := &sessionConn{inner: conn, timeout: timeout, ctx: ctx, stop: make(chan struct{})}
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				// Abort any blocked and all future operations. The per-op
+				// context check below turns the resulting timeout into the
+				// context's error.
+				conn.SetDeadline(time.Now())
+			case <-c.stop:
+			}
+		}()
+	}
+	return c
+}
+
+// release stops the cancellation watcher. Idempotent.
+func (c *sessionConn) release() { c.stopOnce.Do(func() { close(c.stop) }) }
+
+// arm sets the round deadline. Streams without deadline support degrade
+// to unbounded rounds rather than failing the session.
+func (c *sessionConn) arm() {
+	if c.timeout > 0 {
+		_ = c.inner.SetDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+// opErr classifies an operation error: context cancellation wins, then a
+// round timeout is labelled as such.
+func (c *sessionConn) opErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if cerr := c.ctx.Err(); cerr != nil {
+		return fmt.Errorf("abnn2: session aborted: %w", cerr)
+	}
+	if c.timeout > 0 && transport.IsTimeout(err) {
+		return fmt.Errorf("abnn2: protocol round exceeded %v: %w", c.timeout, err)
+	}
+	return err
+}
+
+func (c *sessionConn) Send(msg []byte) error {
+	// Arm before checking the context: if cancellation lands between the
+	// check and the op, the watcher's immediate deadline overrides this
+	// one and still aborts the op.
+	c.arm()
+	if cerr := c.ctx.Err(); cerr != nil {
+		return fmt.Errorf("abnn2: session aborted: %w", cerr)
+	}
+	return c.opErr(c.inner.Send(msg))
+}
+
+func (c *sessionConn) Recv() ([]byte, error) {
+	c.arm()
+	if cerr := c.ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("abnn2: session aborted: %w", cerr)
+	}
+	msg, err := c.inner.Recv()
+	return msg, c.opErr(err)
+}
+
+// recvIdle blocks for the next message with no round deadline: it is the
+// between-batches wait of a server, where a client may legitimately sit
+// idle indefinitely. Context cancellation still aborts it.
+func (c *sessionConn) recvIdle() ([]byte, error) {
+	if c.timeout > 0 {
+		_ = c.inner.SetDeadline(time.Time{})
+	}
+	// The context check must follow the disarm: if the watcher's abort
+	// deadline raced with the disarm and lost, this check still observes
+	// the cancelled context; if cancellation lands after the check, the
+	// watcher re-arms an immediate deadline and aborts the Recv.
+	if cerr := c.ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("abnn2: session aborted: %w", cerr)
+	}
+	msg, err := c.inner.Recv()
+	return msg, c.opErr(err)
+}
+
+func (c *sessionConn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+func (c *sessionConn) Close() error {
+	c.release()
+	return c.inner.Close()
+}

@@ -1,34 +1,17 @@
 package abnn2
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"testing"
 	"time"
 )
 
-// dialRetry connects to addr with a short per-attempt timeout, retrying
-// until the overall deadline. A freshly bound listener can reject the
-// first attempt on loaded CI machines; a bounded retry keeps the test
-// deterministic without hanging on real failures.
-func dialRetry(t *testing.T, addr string, deadline time.Duration) net.Conn {
-	t.Helper()
-	var lastErr error
-	for end := time.Now().Add(deadline); time.Now().Before(end); {
-		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
-		if err == nil {
-			return c
-		}
-		lastErr = err
-		time.Sleep(50 * time.Millisecond)
-	}
-	t.Fatalf("dial %s: %v", addr, lastErr)
-	return nil
-}
-
 // End-to-end over real TCP, exercising the same flow as the
 // abnn2-server / abnn2-client binaries: arch handshake, then secure
-// classification.
+// classification. DialTCP's capped backoff absorbs the first-connect
+// flakiness of freshly bound listeners on loaded CI machines.
 func TestSecureInferenceOverTCP(t *testing.T) {
 	qm, test := trainSmall(t, "4(2,2)")
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -53,11 +36,15 @@ func TestSecureInferenceOverTCP(t *testing.T) {
 			srvErr <- err
 			return
 		}
-		srvErr <- Serve(conn, qm, Config{RingBits: 64})
+		srvErr <- Serve(conn, qm, Config{RingBits: 64, RoundTimeout: time.Minute})
 	}()
 
-	tcp := dialRetry(t, ln.Addr().String(), 10*time.Second)
-	conn := Stream(tcp)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	conn, err := DialTCP(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
 	raw, err := conn.Recv()
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +56,7 @@ func TestSecureInferenceOverTCP(t *testing.T) {
 	if arch.SchemeName != "4(2,2)" {
 		t.Fatalf("arch scheme = %q", arch.SchemeName)
 	}
-	client, err := Dial(conn, arch, Config{RingBits: 64})
+	client, err := Dial(conn, arch, Config{RingBits: 64, RoundTimeout: time.Minute})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,8 +70,68 @@ func TestSecureInferenceOverTCP(t *testing.T) {
 			t.Errorf("input %d: secure %d, plaintext %d", k, got[k], want)
 		}
 	}
-	tcp.Close()
+	client.Close()
 	if err := <-srvErr; err != nil {
 		t.Fatalf("server: %v", err)
+	}
+}
+
+// DialTCP must keep retrying until a listener appears.
+func TestDialTCPRetriesUntilListenerAppears(t *testing.T) {
+	// Reserve an address, then release it so the first dial attempts fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	accepted := make(chan struct{})
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port raced away; the dial below will fail the test
+		}
+		defer ln2.Close()
+		c, err := ln2.Accept()
+		if err == nil {
+			c.Close()
+		}
+		close(accepted)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	conn, err := DialTCP(ctx, addr)
+	if err != nil {
+		t.Fatalf("DialTCP did not survive late-bound listener: %v", err)
+	}
+	conn.Close()
+	select {
+	case <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("listener never accepted")
+	}
+}
+
+// A cancelled context must stop the retry loop promptly with an error
+// that carries both the cause and the last attempt's failure.
+func TestDialTCPHonorsContext(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := DialTCP(ctx, addr); err == nil {
+		t.Fatal("DialTCP succeeded against a dead address")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("DialTCP took %v after context expiry", d)
 	}
 }
