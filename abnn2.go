@@ -35,6 +35,7 @@ import (
 	"abnn2/internal/prg"
 	"abnn2/internal/quant"
 	"abnn2/internal/ring"
+	"abnn2/internal/trace"
 	"abnn2/internal/transport"
 )
 
@@ -85,6 +86,17 @@ type Config struct {
 	// server's idle wait between batches. 0 means no per-round deadline.
 	// Purely local; the parties may configure different values.
 	RoundTimeout time.Duration
+	// Trace, when non-nil, receives one TraceSpan per protocol phase
+	// (setup, offline, per-layer matmul/ReLU/pool, ...) as it completes,
+	// with duration and communication deltas attached. Purely local
+	// telemetry: the peer never observes it, and nil adds zero overhead
+	// to the protocol hot path. See NewTraceCollector and NewTraceWriter
+	// for ready-made sinks.
+	Trace TraceSink
+	// SessionID tags every span this endpoint emits, correlating traces
+	// with logs and metrics when one process runs many sessions. Purely
+	// local; 0 is a valid ID.
+	SessionID uint64
 }
 
 func (c Config) ringBits() uint {
@@ -127,8 +139,9 @@ type Arch = core.Arch
 
 // Serve runs the server side of secure inference until conn closes:
 // setup, then one offline+online round per client batch request. It
-// returns nil when the client closes the connection cleanly.
-func Serve(conn Conn, model *QuantizedModel, cfg Config) error {
+// returns the session's traffic totals and a nil error when the client
+// closes the connection cleanly.
+func Serve(conn Conn, model *QuantizedModel, cfg Config) (Stats, error) {
 	return ServeContext(context.Background(), conn, model, cfg)
 }
 
@@ -138,19 +151,23 @@ func Serve(conn Conn, model *QuantizedModel, cfg Config) error {
 // Config.RoundTimeout this makes a session safe to run against an
 // untrusted client: it can fail, but it cannot hang, leak its goroutine,
 // or take the process down (peer-provoked panics surface as *PanicError).
-func ServeContext(ctx context.Context, conn Conn, model *QuantizedModel, cfg Config) error {
+//
+// The returned Stats cover everything this endpoint sent and received
+// over the session's lifetime, including the failed remainder of an
+// aborted session.
+func ServeContext(ctx context.Context, conn Conn, model *QuantizedModel, cfg Config) (Stats, error) {
 	srv, err := newServer(ctx, conn, model, cfg)
 	if err != nil {
-		return err
+		return Stats{}, err
 	}
 	defer srv.sc.release()
 	for {
 		err := srv.HandleBatch()
 		if errors.Is(err, io.EOF) {
-			return nil // client hung up cleanly between batches
+			return srv.Stats(), nil // client hung up cleanly between batches
 		}
 		if err != nil {
-			return err
+			return srv.Stats(), err
 		}
 	}
 }
@@ -159,6 +176,7 @@ func ServeContext(ctx context.Context, conn Conn, model *QuantizedModel, cfg Con
 type Server struct {
 	eng *core.ServerEngine
 	sc  *sessionConn
+	tr  *trace.Tracer
 }
 
 // NewServer performs the cryptographic setup (base OTs) for the server
@@ -172,22 +190,42 @@ func newServer(ctx context.Context, conn Conn, model *QuantizedModel, cfg Config
 		return nil, err
 	}
 	sc := newSessionConn(ctx, conn, cfg.RoundTimeout)
+	tr := cfg.tracer(sc, "server")
 	scheme := model.qm.Layers[0].Scheme
-	p := core.Params{Ring: ring.New(cfg.ringBits()), Scheme: scheme, Workers: cfg.Workers}
+	p := core.Params{Ring: ring.New(cfg.ringBits()), Scheme: scheme, Workers: cfg.Workers, Trace: tr}
+	sp := tr.Start("setup")
 	eng, err := guardVal("server setup", func() (*core.ServerEngine, error) {
 		return core.NewServerEngine(sc, model.qm, p, cfg.variant())
 	})
+	sp.End(err)
 	if err != nil {
 		sc.release()
 		return nil, err
 	}
-	return &Server{eng: eng, sc: sc}, nil
+	return &Server{eng: eng, sc: sc, tr: tr}, nil
+}
+
+// tracer builds this endpoint's span recorder; nil when tracing is off,
+// which disables every Start call with zero overhead.
+func (c Config) tracer(sc *sessionConn, party string) *trace.Tracer {
+	if c.Trace == nil {
+		return nil
+	}
+	return trace.New(c.Trace,
+		trace.WithParty(party),
+		trace.WithSession(c.SessionID),
+		trace.WithCounters(sc.counters))
 }
 
 // Close releases the server endpoint: it stops the session's
 // cancellation watcher and closes the connection. Safe to call more than
 // once.
 func (s *Server) Close() error { return s.sc.Close() }
+
+// Stats returns the traffic totals of this endpoint so far: BytesAB is
+// what the server sent, BytesBA what it received. Metering is always on;
+// it does not require tracing.
+func (s *Server) Stats() Stats { return s.sc.Stats() }
 
 // HandleBatch serves one prediction batch: it receives the client's batch
 // announcement (size + output mode), runs the offline phase, then the
@@ -198,14 +236,22 @@ func (s *Server) Close() error { return s.sc.Close() }
 // as io.EOF; a connection lost mid-batch is a protocol failure and
 // surfaces as a non-EOF error.
 func (s *Server) HandleBatch() error {
+	// The idle span covers the between-batches wait (including the batch
+	// announcement bytes), so root spans partition the session's traffic:
+	// every byte falls in exactly one of setup, idle, or batch.
+	isp := s.tr.Start("idle")
 	raw, err := s.sc.recvIdle()
 	if err != nil {
 		if errors.Is(err, transport.ErrClosed) || errors.Is(err, io.EOF) {
+			isp.End(nil)
 			return io.EOF
 		}
+		isp.End(err)
 		return err
 	}
-	return guard("handle batch", func() error {
+	isp.End(nil)
+	bsp := s.tr.Start("batch")
+	err = guard("handle batch", func() error {
 		if len(raw) != 5 {
 			return fmt.Errorf("abnn2: malformed batch announcement")
 		}
@@ -217,6 +263,7 @@ func (s *Server) HandleBatch() error {
 		if raw[4] > 1 {
 			return fmt.Errorf("abnn2: unknown output mode %d", raw[4])
 		}
+		bsp.SetBatch(batch)
 		if err := s.eng.Offline(batch); err != nil {
 			return err
 		}
@@ -225,12 +272,15 @@ func (s *Server) HandleBatch() error {
 		}
 		return s.eng.Online()
 	})
+	bsp.End(err)
+	return err
 }
 
 // Client is the data owner's endpoint.
 type Client struct {
 	eng  *core.ClientEngine
 	sc   *sessionConn
+	tr   *trace.Tracer
 	arch Arch
 	rg   ring.Ring
 	frac uint
@@ -256,22 +306,30 @@ func DialContext(ctx context.Context, conn Conn, arch Arch, cfg Config) (*Client
 		return nil, fmt.Errorf("abnn2: architecture scheme: %w", err)
 	}
 	sc := newSessionConn(ctx, conn, cfg.RoundTimeout)
+	tr := cfg.tracer(sc, "client")
 	rg := ring.New(cfg.ringBits())
-	p := core.Params{Ring: rg, Scheme: scheme, Workers: cfg.Workers}
+	p := core.Params{Ring: rg, Scheme: scheme, Workers: cfg.Workers, Trace: tr}
+	sp := tr.Start("setup")
 	eng, err := guardVal("client setup", func() (*core.ClientEngine, error) {
 		return core.NewClientEngine(sc, arch, p, cfg.variant(), cfg.rng())
 	})
+	sp.End(err)
 	if err != nil {
 		sc.release()
 		return nil, err
 	}
-	return &Client{eng: eng, sc: sc, arch: arch, rg: rg, frac: arch.Frac}, nil
+	return &Client{eng: eng, sc: sc, tr: tr, arch: arch, rg: rg, frac: arch.Frac}, nil
 }
 
 // Close releases the client endpoint: it stops the session's
 // cancellation watcher and closes the connection. Safe to call more than
 // once.
 func (c *Client) Close() error { return c.sc.Close() }
+
+// Stats returns the traffic totals of this endpoint so far: BytesAB is
+// what the client sent, BytesBA what it received. Metering is always on;
+// it does not require tracing.
+func (c *Client) Stats() Stats { return c.sc.Stats() }
 
 // Classify securely evaluates the model on a batch of float inputs and
 // returns the predicted class indices (computed locally from the full
@@ -298,7 +356,8 @@ func (c *Client) Classify(inputs [][]float64) ([]int, error) {
 // client learns only the winning class per input — not the scores — and
 // the server still learns nothing. Costs one extra GC round.
 func (c *Client) ClassifyPrivate(inputs [][]float64) ([]int, error) {
-	return guardVal("private classification", func() ([]int, error) {
+	bsp := c.tr.Start("batch").SetBatch(len(inputs))
+	v, err := guardVal("private classification", func() ([]int, error) {
 		X, err := c.encodeBatch(inputs)
 		if err != nil {
 			return nil, err
@@ -311,12 +370,15 @@ func (c *Client) ClassifyPrivate(inputs [][]float64) ([]int, error) {
 		}
 		return c.eng.PredictArgmax(X)
 	})
+	bsp.End(err)
+	return v, err
 }
 
 // Infer securely evaluates the model and returns the raw ring outputs
 // (one column per input). Most callers want Classify.
 func (c *Client) Infer(inputs [][]float64) (*ring.Mat, error) {
-	return guardVal("inference", func() (*ring.Mat, error) {
+	bsp := c.tr.Start("batch").SetBatch(len(inputs))
+	v, err := guardVal("inference", func() (*ring.Mat, error) {
 		X, err := c.encodeBatch(inputs)
 		if err != nil {
 			return nil, err
@@ -329,6 +391,8 @@ func (c *Client) Infer(inputs [][]float64) (*ring.Mat, error) {
 		}
 		return c.eng.Predict(X)
 	})
+	bsp.End(err)
+	return v, err
 }
 
 func (c *Client) encodeBatch(inputs [][]float64) (*ring.Mat, error) {

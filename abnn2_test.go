@@ -28,7 +28,7 @@ func TestSecureClassifyMatchesPlaintext(t *testing.T) {
 	var srvErr error
 	go func() {
 		defer wg.Done()
-		srvErr = Serve(sc, qm, Config{RingBits: 64, Seed: 1})
+		_, srvErr = Serve(sc, qm, Config{RingBits: 64, Seed: 1})
 	}()
 	client, err := Dial(cc, qm.Arch(), Config{RingBits: 64, Seed: 2})
 	if err != nil {

@@ -55,7 +55,7 @@ func runParties(t *testing.T, qm *QuantizedModel, sconn, cconn Conn, scfg, ccfg 
 	sch := make(chan error, 1)
 	cch := make(chan error, 1)
 	go func() {
-		err := Serve(sconn, qm, scfg)
+		_, err := Serve(sconn, qm, scfg)
 		sconn.Close()
 		sch <- err
 	}()
@@ -248,7 +248,10 @@ func TestChaosServerCancelledWhileIdle(t *testing.T) {
 	sconn, cconn := Pipe()
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- ServeContext(ctx, sconn, qm, Config{RingBits: 32}) }()
+	go func() {
+		_, err := ServeContext(ctx, sconn, qm, Config{RingBits: 32})
+		done <- err
+	}()
 	client, err := Dial(cconn, qm.Arch(), Config{RingBits: 32, Seed: 3})
 	if err != nil {
 		t.Fatalf("setup: %v", err)
@@ -308,7 +311,10 @@ func TestRoundTimeoutAllowsIdleBetweenBatches(t *testing.T) {
 	qm := chaosModel(t)
 	sconn, cconn := Pipe()
 	srvErr := make(chan error, 1)
-	go func() { srvErr <- Serve(sconn, qm, Config{RingBits: 32, RoundTimeout: 100 * time.Millisecond}) }()
+	go func() {
+		_, err := Serve(sconn, qm, Config{RingBits: 32, RoundTimeout: 100 * time.Millisecond})
+		srvErr <- err
+	}()
 	client, err := Dial(cconn, qm.Arch(), Config{RingBits: 32, Seed: 5, RoundTimeout: chaosRoundTimeout})
 	if err != nil {
 		t.Fatalf("setup: %v", err)

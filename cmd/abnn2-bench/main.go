@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"abnn2/internal/bench"
+	"abnn2/internal/trace"
 )
 
 func main() {
@@ -27,9 +28,19 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run ablation studies instead of tables")
 	accuracy := flag.Bool("accuracy", false, "run the quantization accuracy ladder instead of tables")
 	workers := flag.Int("workers", 0, "worker goroutines for protocol kernels (0 = one per CPU)")
+	traceOut := flag.String("trace-out", "", "append per-phase protocol spans as JSONL to this file (empty = off); replay with abnn2-inspect -trace")
 	flag.Parse()
 
 	opt := bench.Options{Quick: *quick, Out: os.Stdout, Workers: *workers}
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abnn2-bench: open trace output: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opt.Trace = trace.NewJSONL(f)
+	}
 	if *accuracy {
 		bench.Accuracy(opt)
 		return

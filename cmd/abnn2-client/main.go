@@ -17,7 +17,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"time"
 
 	"abnn2"
@@ -32,24 +33,38 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for protocol kernels (0 = one per CPU)")
 	dialTimeout := flag.Duration("dial-timeout", 30*time.Second, "total connect budget including retries")
 	roundTimeout := flag.Duration("round-timeout", time.Minute, "per-round protocol deadline (0 = unbounded)")
+	traceOut := flag.String("trace-out", "", "append protocol spans as JSONL to this file (empty = off)")
 	flag.Parse()
-	log.SetFlags(0)
-	log.SetPrefix("abnn2-client: ")
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "abnn2-client")
+
+	var traceSink abnn2.TraceSink
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Error("open trace output", "err", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		traceSink = abnn2.NewTraceWriter(f)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
 	defer cancel()
 	conn, err := abnn2.DialTCP(ctx, *addr)
 	if err != nil {
-		log.Fatalf("dial: %v", err)
+		logger.Error("dial", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
 	defer conn.Close()
 	raw, err := conn.Recv()
 	if err != nil {
-		log.Fatalf("recv architecture: %v", err)
+		logger.Error("recv architecture", "err", err)
+		os.Exit(1)
 	}
 	var arch abnn2.Arch
 	if err := json.Unmarshal(raw, &arch); err != nil {
-		log.Fatalf("parse architecture: %v", err)
+		logger.Error("parse architecture", "err", err)
+		os.Exit(1)
 	}
 	fmt.Printf("architecture: %d layers, input %d, output %d, scheme %s\n",
 		len(arch.Layers), arch.InputSize(), arch.OutputSize(), arch.SchemeName)
@@ -59,17 +74,20 @@ func main() {
 		OptimizedReLU: *optRelu,
 		Workers:       *workers,
 		RoundTimeout:  *roundTimeout,
+		Trace:         traceSink,
 	}
 	client, err := abnn2.Dial(conn, arch, cfg)
 	if err != nil {
-		log.Fatalf("setup: %v", err)
+		logger.Error("setup", "err", err)
+		os.Exit(1)
 	}
 	defer client.Close()
 	ds := abnn2.SyntheticDataset(*n, *seed)
 	start := time.Now()
 	classes, err := client.Classify(ds.Inputs)
 	if err != nil {
-		log.Fatalf("classify: %v", err)
+		logger.Error("classify", "err", err)
+		os.Exit(1)
 	}
 	elapsed := time.Since(start)
 	correct := 0
@@ -80,4 +98,7 @@ func main() {
 		}
 	}
 	fmt.Printf("%d/%d match the true labels; batch took %v (offline+online)\n", correct, len(classes), elapsed)
+	stats := client.Stats()
+	fmt.Printf("traffic: sent %d B, received %d B, %d messages, %d flights\n",
+		stats.BytesAB, stats.BytesBA, stats.Messages, stats.Flights)
 }

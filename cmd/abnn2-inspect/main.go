@@ -4,10 +4,17 @@
 // the activation layers — before running any protocol. Useful for sizing
 // batch/bitwidth/link trade-offs offline.
 //
+// With -trace it instead replays a recorded span dump (the JSONL files
+// written by the -trace-out flags of abnn2-server, abnn2-client, and
+// abnn2-bench) and prints the measured per-phase/per-layer breakdown —
+// the observed counterpart of the projections above, in the shape of
+// the paper's cost tables.
+//
 // Usage:
 //
 //	abnn2-train -out model.json
 //	abnn2-inspect -model model.json -batch 1,32,128 -wan 9,72
+//	abnn2-inspect -trace spans.jsonl
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"abnn2/internal/core"
 	"abnn2/internal/nn"
 	"abnn2/internal/otext"
+	"abnn2/internal/trace"
 )
 
 func main() {
@@ -28,9 +36,15 @@ func main() {
 	batches := flag.String("batch", "1,32,128", "comma-separated batch sizes to project")
 	ringBits := flag.Uint("ring", 32, "share ring bit width l")
 	wan := flag.String("wan", "9,72", "WAN model as bandwidthMBps,rttMs")
+	tracePath := flag.String("trace", "", "replay a JSONL span dump instead of projecting a model")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("abnn2-inspect: ")
+
+	if *tracePath != "" {
+		replayTrace(*tracePath)
+		return
+	}
 
 	data, err := os.ReadFile(*modelPath)
 	if err != nil {
@@ -96,6 +110,43 @@ func main() {
 		neurons, neurons*perNeuronAND,
 		float64(neurons*perNeuronAND)*2*16/(1<<20))
 	fmt.Printf("(kappa = %d; one-batch C-OT and multi-batch packing selected automatically per batch)\n", otext.Kappa)
+}
+
+// replayTrace loads a recorded span dump and prints the measured
+// per-phase/per-layer cost breakdown plus per-session root totals.
+func replayTrace(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("open trace: %v", err)
+	}
+	defer f.Close()
+	spans, err := trace.ReadJSONL(f)
+	if err != nil {
+		log.Fatalf("parse trace: %v", err)
+	}
+	if len(spans) == 0 {
+		log.Fatalf("trace %s holds no spans", path)
+	}
+	sessions := map[uint64]bool{}
+	for _, s := range spans {
+		sessions[s.Session] = true
+	}
+	fmt.Printf("%s: %d spans, %d sessions\n\n", path, len(spans), len(sessions))
+	fmt.Print(trace.FormatTable(trace.Summarize(spans)))
+
+	roots := trace.Roots(spans)
+	var sent, recvd, flights int64
+	batches := 0
+	for _, r := range roots {
+		sent += r.BytesSent
+		recvd += r.BytesRecvd
+		flights += r.Flights
+		if r.Name == "batch" && r.Err == "" {
+			batches++
+		}
+	}
+	fmt.Printf("\nroot totals: %d B sent, %d B received, %d flights, %d completed batches\n",
+		sent, recvd, flights, batches)
 }
 
 func parseWAN(s string) (float64, int, error) {

@@ -12,25 +12,37 @@
 // no new connections, in-flight batches run to completion within
 // -grace, then remaining sessions are aborted.
 //
+// Observability: every session is assigned an ID that correlates its
+// structured log lines, trace spans, and metrics. -metrics-addr starts
+// an HTTP endpoint exposing Prometheus text at /metrics, an
+// expvar-style JSON document at /vars, and the pprof profiles under
+// /debug/pprof/. -trace-out appends every protocol span (per phase, per
+// layer, with byte/flight/duration attribution) to a JSONL file that
+// abnn2-inspect -trace can replay into a breakdown table.
+//
 // Usage:
 //
 //	abnn2-train -out model.json
-//	abnn2-server -model model.json -listen :9000
+//	abnn2-server -model model.json -listen :9000 -metrics-addr :9090
 package main
 
 import (
 	"context"
 	"encoding/json"
 	"flag"
-	"log"
+	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"abnn2"
+	"abnn2/internal/metrics"
 )
 
 func main() {
@@ -43,35 +55,70 @@ func main() {
 	roundTimeout := flag.Duration("round-timeout", time.Minute, "per-round protocol deadline (0 = unbounded)")
 	grace := flag.Duration("grace", 30*time.Second, "drain period for in-flight sessions on shutdown")
 	maxMsg := flag.Int("max-message", 0, "per-message size limit in bytes (0 = default 64 MiB)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address (empty = off)")
+	traceOut := flag.String("trace-out", "", "append protocol spans as JSONL to this file (empty = off)")
 	flag.Parse()
-	log.SetFlags(0)
-	log.SetPrefix("abnn2-server: ")
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "abnn2-server")
 
 	data, err := os.ReadFile(*modelPath)
 	if err != nil {
-		log.Fatalf("read model: %v", err)
+		logger.Error("read model", "err", err)
+		os.Exit(1)
 	}
 	qm, err := abnn2.LoadQuantizedModel(data)
 	if err != nil {
-		log.Fatalf("parse model: %v", err)
-	}
-	cfg := abnn2.Config{
-		RingBits:      *ringBits,
-		OptimizedReLU: *optRelu,
-		Workers:       *workers,
-		RoundTimeout:  *roundTimeout,
+		logger.Error("parse model", "err", err)
+		os.Exit(1)
 	}
 	archJSON, err := json.Marshal(qm.Arch())
 	if err != nil {
-		log.Fatalf("marshal arch: %v", err)
+		logger.Error("marshal arch", "err", err)
+		os.Exit(1)
+	}
+
+	// Telemetry: the metrics bridge always aggregates spans (the cost is
+	// a few counter updates per phase); the HTTP endpoint and the JSONL
+	// dump are opt-in.
+	registry := metrics.NewRegistry()
+	srvMetrics := metrics.NewServerMetrics(registry)
+	traceSink := abnn2.TraceSink(srvMetrics)
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Error("open trace output", "err", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		traceSink = abnn2.MultiTraceSink(srvMetrics, abnn2.NewTraceWriter(f))
+	}
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", registry.Handler())
+		mux.Handle("/vars", registry.JSONHandler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		msrv := &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("metrics endpoint", "err", err)
+			}
+		}()
+		defer msrv.Close()
+		logger.Info("metrics endpoint up", "addr", *metricsAddr)
 	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("listen: %v", err)
+		logger.Error("listen", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("serving %s model (%s) on %s, ring=%d relu-optimized=%v max-conns=%d round-timeout=%v",
-		*modelPath, qm.Scheme(), ln.Addr(), *ringBits, *optRelu, *maxConns, *roundTimeout)
+	logger.Info("serving",
+		"model", *modelPath, "scheme", qm.Scheme(), "addr", ln.Addr().String(),
+		"ring", *ringBits, "relu_optimized", *optRelu,
+		"max_conns", *maxConns, "round_timeout", *roundTimeout)
 
 	// Shutdown protocol: the signal closes the listener (unblocking
 	// Accept); in-flight sessions keep their own context so they can
@@ -86,6 +133,7 @@ func main() {
 	}()
 
 	var wg sync.WaitGroup
+	var nextSession atomic.Uint64
 	sem := make(chan struct{}, *maxConns)
 	var acceptDelay time.Duration
 	for {
@@ -101,7 +149,7 @@ func main() {
 			} else if acceptDelay *= 2; acceptDelay > time.Second {
 				acceptDelay = time.Second
 			}
-			log.Printf("accept: %v; retrying in %v", err, acceptDelay)
+			logger.Warn("accept failed", "err", err, "retry_in", acceptDelay)
 			time.Sleep(acceptDelay)
 			continue
 		}
@@ -109,29 +157,52 @@ func main() {
 		select {
 		case sem <- struct{}{}:
 		default:
-			log.Printf("%s: rejected, at capacity (%d sessions)", tcp.RemoteAddr(), *maxConns)
+			srvMetrics.ConnsRejected.Inc()
+			logger.Warn("rejected at capacity", "remote", tcp.RemoteAddr().String(), "max_conns", *maxConns)
 			tcp.Close()
 			continue
+		}
+		session := nextSession.Add(1)
+		srvMetrics.ConnsTotal.Inc()
+		srvMetrics.ConnsActive.Add(1)
+		// The session ID tags this connection's log lines, its trace
+		// spans, and (through the spans) its metrics contributions.
+		connLog := logger.With("session", session, "remote", tcp.RemoteAddr().String())
+		cfg := abnn2.Config{
+			RingBits:      *ringBits,
+			OptimizedReLU: *optRelu,
+			Workers:       *workers,
+			RoundTimeout:  *roundTimeout,
+			Trace:         traceSink,
+			SessionID:     session,
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			defer srvMetrics.ConnsActive.Add(-1)
 			defer tcp.Close()
 			conn := abnn2.StreamLimit(tcp, *maxMsg)
 			if err := conn.Send(archJSON); err != nil {
-				log.Printf("%s: send arch: %v", tcp.RemoteAddr(), err)
+				connLog.Error("send arch", "err", err)
 				return
 			}
-			log.Printf("%s: connected", tcp.RemoteAddr())
+			connLog.Info("connected")
 			// ServeContext contains panics from malformed peer data and
 			// enforces the round deadline, so one bad client costs at most
 			// its own session.
-			if err := abnn2.ServeContext(connCtx, conn, qm, cfg); err != nil {
-				log.Printf("%s: %v", tcp.RemoteAddr(), err)
+			start := time.Now()
+			stats, err := abnn2.ServeContext(connCtx, conn, qm, cfg)
+			srvMetrics.ObserveSession(err, time.Since(start))
+			if err != nil {
+				connLog.Error("session failed", "err", err,
+					"bytes_sent", stats.BytesAB, "bytes_recvd", stats.BytesBA)
 				return
 			}
-			log.Printf("%s: done", tcp.RemoteAddr())
+			connLog.Info("session done",
+				"bytes_sent", stats.BytesAB, "bytes_recvd", stats.BytesBA,
+				"messages", stats.Messages, "flights", stats.Flights,
+				"dur", time.Since(start).Round(time.Millisecond))
 		}()
 	}
 
@@ -142,9 +213,9 @@ func main() {
 	}()
 	select {
 	case <-done:
-		log.Printf("shutdown: all sessions drained")
+		logger.Info("shutdown: all sessions drained")
 	case <-time.After(*grace):
-		log.Printf("shutdown: grace period %v expired, aborting in-flight sessions", *grace)
+		logger.Warn("shutdown: grace period expired, aborting in-flight sessions", "grace", *grace)
 		abortConns()
 		<-done
 	}

@@ -11,7 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	"abnn2"
@@ -27,8 +27,7 @@ func main() {
 	out := flag.String("out", "model.json", "output path for the quantized model")
 	floatOut := flag.String("float-out", "", "optional output path for the float model")
 	flag.Parse()
-	log.SetFlags(0)
-	log.SetPrefix("abnn2-train: ")
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "abnn2-train")
 
 	ds := abnn2.SyntheticDataset(*samples, 42)
 	train, test := ds.Split(0.9)
@@ -41,7 +40,8 @@ func main() {
 		model = abnn2.NewSmallCNN(4)
 		fmt.Printf("training small CNN (conv 5x5 -> pool 2 -> FC) on %d samples, %d epochs...\n", len(train.Inputs), *epochs)
 	default:
-		log.Fatalf("unknown architecture %q (want fig4 or cnn)", *arch)
+		logger.Error("unknown architecture (want fig4 or cnn)", "arch", *arch)
+		os.Exit(1)
 	}
 	loss := model.Train(train.Inputs, train.Labels, abnn2.TrainOptions{Epochs: *epochs})
 	floatAcc := model.Accuracy(test.Inputs, test.Labels)
@@ -53,27 +53,32 @@ func main() {
 	}
 	qm, err := quantize(*scheme, *frac)
 	if err != nil {
-		log.Fatalf("quantize: %v", err)
+		logger.Error("quantize", "err", err)
+		os.Exit(1)
 	}
 	qAcc := qm.Accuracy(test.Inputs, test.Labels)
 	fmt.Printf("quantized (%s) test accuracy %.1f%%\n", *scheme, 100*qAcc)
 
 	data, err := qm.MarshalJSON()
 	if err != nil {
-		log.Fatalf("marshal: %v", err)
+		logger.Error("marshal", "err", err)
+		os.Exit(1)
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatalf("write %s: %v", *out, err)
+		logger.Error("write model", "path", *out, "err", err)
+		os.Exit(1)
 	}
 	fmt.Printf("wrote quantized model to %s (%d bytes)\n", *out, len(data))
 
 	if *floatOut != "" {
 		fdata, err := model.MarshalJSON()
 		if err != nil {
-			log.Fatalf("marshal float model: %v", err)
+			logger.Error("marshal float model", "err", err)
+			os.Exit(1)
 		}
 		if err := os.WriteFile(*floatOut, fdata, 0o644); err != nil {
-			log.Fatalf("write %s: %v", *floatOut, err)
+			logger.Error("write float model", "path", *floatOut, "err", err)
+			os.Exit(1)
 		}
 		fmt.Printf("wrote float model to %s\n", *floatOut)
 	}

@@ -35,7 +35,7 @@ func main() {
 
 	serverConn, clientConn, meter := abnn2.MeteredPipe()
 	go func() {
-		if err := abnn2.Serve(serverConn, qm, abnn2.Config{RingBits: 64}); err != nil {
+		if _, err := abnn2.Serve(serverConn, qm, abnn2.Config{RingBits: 64}); err != nil {
 			log.Printf("server: %v", err)
 		}
 	}()

@@ -33,13 +33,15 @@ func main() {
 
 	fmt.Println("\n== secure batch prediction (batch = 16) ==")
 	serverConn, clientConn, meter := abnn2.MeteredPipe()
+	spans := abnn2.NewTraceCollector() // both parties emit into one dump
+	cfg := abnn2.Config{RingBits: 64, Trace: spans}
 	go func() {
-		if err := abnn2.Serve(serverConn, qm, abnn2.Config{RingBits: 64}); err != nil {
+		if _, err := abnn2.Serve(serverConn, qm, cfg); err != nil {
 			log.Printf("server: %v", err)
 		}
 	}()
 	setupStart := time.Now()
-	client, err := abnn2.Dial(clientConn, qm.Arch(), abnn2.Config{RingBits: 64})
+	client, err := abnn2.Dial(clientConn, qm.Arch(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,4 +76,7 @@ func main() {
 		(pred / time.Duration(len(batch))).Round(time.Millisecond),
 		float64(predStats.TotalBytes())/(1<<20)/float64(len(batch)))
 	serverConn.Close()
+
+	fmt.Println("\n== per-phase trace (both parties, from Config.Trace) ==")
+	fmt.Print(abnn2.TraceTable(spans.Spans()))
 }

@@ -32,7 +32,7 @@ func main() {
 	//    the inputs. Only the architecture is shared.
 	serverConn, clientConn := abnn2.Pipe()
 	go func() {
-		if err := abnn2.Serve(serverConn, qm, abnn2.Config{RingBits: 64}); err != nil {
+		if _, err := abnn2.Serve(serverConn, qm, abnn2.Config{RingBits: 64}); err != nil {
 			log.Printf("server: %v", err)
 		}
 	}()

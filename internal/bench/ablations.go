@@ -104,7 +104,7 @@ func AblationReLU(opt Options) []AblationRow {
 	rg := ring.New(32)
 	rows := []AblationRow{}
 	for _, v := range []core.ReLUVariant{core.ReLUGC, core.ReLUOptimized} {
-		meas, err := runEndToEnd(rg, quant.Uniform(2, 4), shapes, batch, v, opt.Workers)
+		meas, err := runEndToEnd(rg, quant.Uniform(2, 4), shapes, batch, v, opt, "ablation-relu "+v.String())
 		if err != nil {
 			panic(fmt.Sprintf("bench: relu ablation %v: %v", v, err))
 		}
@@ -164,7 +164,7 @@ func AblationXONN(opt Options) []AblationRow {
 
 	// ABNN2, binary weights, batch 1, l=32.
 	shapes := []layerShape{{sizes[1], sizes[0]}, {sizes[2], sizes[1]}}
-	meas, err := runEndToEnd(ring.New(32), quant.Binary(), shapes, 1, core.ReLUGC, opt.Workers)
+	meas, err := runEndToEnd(ring.New(32), quant.Binary(), shapes, 1, core.ReLUGC, opt, "ablation-xonn")
 	if err != nil {
 		panic(fmt.Sprintf("bench: xonn ablation abnn2: %v", err))
 	}
@@ -226,7 +226,7 @@ func AblationRing(opt Options) []AblationRow {
 				l.ReqC, l.ReqT = 13, 12 // ~Scale=1 rescale; cost-equivalent
 			}
 		}
-		meas, err := runEndToEndModel(ring.New(cfg.bits), qm, batch, core.ReLUGC, opt.Workers)
+		meas, err := runEndToEndModel(ring.New(cfg.bits), qm, batch, core.ReLUGC, opt, "ablation-ring "+cfg.label)
 		if err != nil {
 			panic(fmt.Sprintf("bench: ring ablation %s: %v", cfg.label, err))
 		}

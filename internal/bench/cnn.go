@@ -37,7 +37,7 @@ func TableCNN(opt Options) []TableCNNRow {
 	var rows []TableCNNRow
 	for _, sc := range schemes {
 		for _, batch := range batches {
-			meas, err := runSecureCNN(rg, sc, channels, batch, opt.Workers)
+			meas, err := runSecureCNN(rg, sc, channels, batch, opt)
 			if err != nil {
 				panic(fmt.Sprintf("bench: cnn %s batch %d: %v", sc.Name(), batch, err))
 			}
@@ -60,7 +60,7 @@ func TableCNN(opt Options) []TableCNNRow {
 
 // runSecureCNN builds a random in-range quantized CNN and measures one
 // offline+online secure inference.
-func runSecureCNN(rg ring.Ring, scheme quant.Scheme, channels, batch int, workers int) (measurement, error) {
+func runSecureCNN(rg ring.Ring, scheme quant.Scheme, channels, batch int, opt Options) (measurement, error) {
 	rng := prg.New(prg.SeedFromInt(51))
 	min, max := scheme.Range()
 	span := int(max - min + 1)
@@ -86,5 +86,6 @@ func runSecureCNN(rg ring.Ring, scheme quant.Scheme, channels, batch int, worker
 			Scale: 1, Scheme: scheme,
 		},
 	}}
-	return runEndToEndModel(rg, qm, batch, core.ReLUGC, workers)
+	return runEndToEndModel(rg, qm, batch, core.ReLUGC, opt,
+		fmt.Sprintf("cnn %s batch=%d", scheme.Name(), batch))
 }

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"abnn2/internal/trace"
 	"abnn2/internal/transport"
 )
 
@@ -28,6 +29,10 @@ type Options struct {
 	// of every measured protocol run. 0 means one worker per CPU; set 1 to
 	// measure the sequential baselines.
 	Workers int
+	// Trace, when non-nil, receives per-phase spans from every traced
+	// protocol run (both parties, Label set to the table row identity) —
+	// the raw material behind each table entry. Nil disables tracing.
+	Trace trace.Sink
 }
 
 func (o Options) out() io.Writer {
@@ -57,12 +62,43 @@ func (m measurement) timeUnder(nm transport.NetModel) float64 {
 // runPair executes the two protocol sides concurrently over a metered
 // pipe and returns the cost profile. Errors from either side abort.
 func runPair(client func(transport.Conn) error, server func(transport.Conn) error) (measurement, error) {
+	return runPairT(Options{}, "",
+		func(c transport.Conn, _ *trace.Tracer) error { return client(c) },
+		func(c transport.Conn, _ *trace.Tracer) error { return server(c) })
+}
+
+// pairTracers builds the two parties' tracers over a shared pipe meter
+// (nil, nil when tracing is off). The pipe meter attributes BytesAB to
+// the client side, so the server's view swaps directions.
+func pairTracers(opt Options, label string, meter *transport.Meter) (cli, srv *trace.Tracer) {
+	if opt.Trace == nil {
+		return nil, nil
+	}
+	counters := func(swap bool) func() trace.Counters {
+		return func() trace.Counters {
+			s := meter.Snapshot()
+			if swap {
+				s.BytesAB, s.BytesBA = s.BytesBA, s.BytesAB
+			}
+			return trace.Counters{BytesSent: s.BytesAB, BytesRecvd: s.BytesBA, Messages: s.Messages, Flights: s.Flights}
+		}
+	}
+	cli = trace.New(opt.Trace, trace.WithParty("client"), trace.WithLabel(label), trace.WithCounters(counters(false)))
+	srv = trace.New(opt.Trace, trace.WithParty("server"), trace.WithLabel(label), trace.WithCounters(counters(true)))
+	return cli, srv
+}
+
+// runPairT is runPair with tracing: each side receives its own tracer
+// (nil when opt.Trace is nil), both emitting to opt.Trace with the
+// given row label.
+func runPairT(opt Options, label string, client func(transport.Conn, *trace.Tracer) error, server func(transport.Conn, *trace.Tracer) error) (measurement, error) {
 	ca, cb, meter := transport.MeteredPipe()
 	defer ca.Close()
+	cliTr, srvTr := pairTracers(opt, label, meter)
 	errc := make(chan error, 1)
 	start := time.Now()
-	go func() { errc <- server(cb) }()
-	cerr := client(ca)
+	go func() { errc <- server(cb, srvTr) }()
+	cerr := client(ca, cliTr)
 	serr := <-errc
 	wall := time.Since(start)
 	if cerr != nil {

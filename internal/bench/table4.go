@@ -10,6 +10,7 @@ import (
 	"abnn2/internal/prg"
 	"abnn2/internal/quant"
 	"abnn2/internal/ring"
+	"abnn2/internal/trace"
 	"abnn2/internal/transport"
 )
 
@@ -56,7 +57,8 @@ func Table4(opt Options) []Table4Row {
 		rg := ring.New(l)
 		for _, sc := range table4Schemes {
 			for _, batch := range batches {
-				meas, err := runEndToEnd(rg, sc, shapes, batch, core.ReLUGC, opt.Workers)
+				meas, err := runEndToEnd(rg, sc, shapes, batch, core.ReLUGC, opt,
+					fmt.Sprintf("table4 %s l=%d batch=%d", sc.Name(), l, batch))
 				if err != nil {
 					panic(fmt.Sprintf("bench: table4 %s l=%d batch=%d: %v", sc.Name(), l, batch, err))
 				}
@@ -71,7 +73,7 @@ func Table4(opt Options) []Table4Row {
 			}
 		}
 		for _, batch := range batches {
-			row := measureMiniONN(rg, shapes, batch, minionnCap, opt.Workers)
+			row := measureMiniONN(rg, shapes, batch, minionnCap, opt)
 			rows = append(rows, row)
 		}
 	}
@@ -85,18 +87,19 @@ func Table4(opt Options) []Table4Row {
 
 // runEndToEnd measures a complete offline+online secure inference on a
 // synthetic network with the given layer shapes.
-func runEndToEnd(rg ring.Ring, scheme quant.Scheme, shapes []layerShape, batch int, variant core.ReLUVariant, workers int) (measurement, error) {
-	return runEndToEndModel(rg, syntheticQuantized(scheme, shapes), batch, variant, workers)
+func runEndToEnd(rg ring.Ring, scheme quant.Scheme, shapes []layerShape, batch int, variant core.ReLUVariant, opt Options, label string) (measurement, error) {
+	return runEndToEndModel(rg, syntheticQuantized(scheme, shapes), batch, variant, opt, label)
 }
 
 // runEndToEndModel measures a complete offline+online secure inference
-// for an explicit quantized model.
-func runEndToEndModel(rg ring.Ring, qm *nn.QuantizedModel, batch int, variant core.ReLUVariant, workers int) (measurement, error) {
+// for an explicit quantized model. With opt.Trace set, both parties emit
+// per-phase spans labelled with the table row identity.
+func runEndToEndModel(rg ring.Ring, qm *nn.QuantizedModel, batch int, variant core.ReLUVariant, opt Options, label string) (measurement, error) {
 	scheme := qm.Layers[0].Scheme
-	p := core.Params{Ring: rg, Scheme: scheme, Workers: workers}
 	arch := core.ArchOf(qm)
-	return runPair(
-		func(conn transport.Conn) error {
+	return runPairT(opt, label,
+		func(conn transport.Conn, tr *trace.Tracer) error {
+			p := core.Params{Ring: rg, Scheme: scheme, Workers: opt.Workers, Trace: tr}
 			cli, err := core.NewClientEngine(conn, arch, p, variant, prg.New(prg.SeedFromInt(11)))
 			if err != nil {
 				return err
@@ -108,7 +111,8 @@ func runEndToEndModel(rg ring.Ring, qm *nn.QuantizedModel, batch int, variant co
 			_, err = cli.Predict(X)
 			return err
 		},
-		func(conn transport.Conn) error {
+		func(conn transport.Conn, tr *trace.Tracer) error {
+			p := core.Params{Ring: rg, Scheme: scheme, Workers: opt.Workers, Trace: tr}
 			srv, err := core.NewServerEngine(conn, qm, p, variant)
 			if err != nil {
 				return err
@@ -149,7 +153,7 @@ func syntheticQuantized(scheme quant.Scheme, shapes []layerShape) *nn.QuantizedM
 // measureMiniONN measures the MiniONN baseline: HE offline phase plus the
 // same online phase ABNN2 uses (MiniONN's online is likewise additive
 // shares + GC activations). Batches beyond cap are extrapolated.
-func measureMiniONN(rg ring.Ring, shapes []layerShape, batch, maxBatch int, workers int) Table4Row {
+func measureMiniONN(rg ring.Ring, shapes []layerShape, batch, maxBatch int, opt Options) Table4Row {
 	measured := batch
 	note := ""
 	if batch > maxBatch {
@@ -180,7 +184,7 @@ func measureMiniONN(rg ring.Ring, shapes []layerShape, batch, maxBatch int, work
 	}
 	// Online phase: identical to ABNN2's (binary weights used as the
 	// cheapest stand-in; online cost is scheme-independent).
-	online, err := runOnlineOnly(rg, shapes, batch, workers)
+	online, err := runOnlineOnly(rg, shapes, batch, opt)
 	if err != nil {
 		panic(fmt.Sprintf("bench: minionn online batch %d: %v", batch, err))
 	}
@@ -236,13 +240,15 @@ func runMiniONNOffline(rg ring.Ring, shapes []layerShape, batch int) (measuremen
 
 // runOnlineOnly measures just the online phase of the reference engine
 // (the offline phase is run but excluded from the measurement window).
-func runOnlineOnly(rg ring.Ring, shapes []layerShape, batch int, workers int) (measurement, error) {
+func runOnlineOnly(rg ring.Ring, shapes []layerShape, batch int, opt Options) (measurement, error) {
 	scheme := quant.Binary()
 	qm := syntheticQuantized(scheme, shapes)
-	p := core.Params{Ring: rg, Scheme: scheme, Workers: workers}
 	arch := core.ArchOf(qm)
 	ca, cb, meter := transport.MeteredPipe()
 	defer ca.Close()
+	cliTr, srvTr := pairTracers(opt, fmt.Sprintf("online-only batch=%d", batch), meter)
+	cp := core.Params{Ring: rg, Scheme: scheme, Workers: opt.Workers, Trace: cliTr}
+	sp := core.Params{Ring: rg, Scheme: scheme, Workers: opt.Workers, Trace: srvTr}
 	type ready struct {
 		srv *core.ServerEngine
 		err error
@@ -250,7 +256,7 @@ func runOnlineOnly(rg ring.Ring, shapes []layerShape, batch int, workers int) (m
 	srvReady := make(chan ready, 1)
 	srvDone := make(chan error, 1)
 	go func() {
-		srv, err := core.NewServerEngine(cb, qm, p, core.ReLUGC)
+		srv, err := core.NewServerEngine(cb, qm, sp, core.ReLUGC)
 		if err == nil {
 			err = srv.Offline(batch)
 		}
@@ -260,7 +266,7 @@ func runOnlineOnly(rg ring.Ring, shapes []layerShape, batch int, workers int) (m
 		}
 		srvDone <- srv.Online()
 	}()
-	cli, err := core.NewClientEngine(ca, arch, p, core.ReLUGC, prg.New(prg.SeedFromInt(23)))
+	cli, err := core.NewClientEngine(ca, arch, cp, core.ReLUGC, prg.New(prg.SeedFromInt(23)))
 	if err != nil {
 		return measurement{}, err
 	}

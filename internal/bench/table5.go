@@ -41,7 +41,8 @@ func Table5(opt Options) []Table5Row {
 	rg := ring.New(32)
 	rows := append([]Table5Row{}, quotientPublished...)
 	for _, batch := range batches {
-		meas, err := runEndToEnd(rg, quant.Binary(), shapes, batch, core.ReLUGC, opt.Workers)
+		meas, err := runEndToEnd(rg, quant.Binary(), shapes, batch, core.ReLUGC, opt,
+			fmt.Sprintf("table5 batch=%d", batch))
 		if err != nil {
 			panic(fmt.Sprintf("bench: table5 batch %d: %v", batch, err))
 		}

@@ -268,10 +268,12 @@ func NewClientEngine(conn Conn, arch Arch, p Params, variant ReLUVariant, rng *p
 // Offline runs the server's data-independent phase for one batch of the
 // given size. It may be called again after Online to provision the next
 // batch.
-func (e *ServerEngine) Offline(batch int) error {
+func (e *ServerEngine) Offline(batch int) (err error) {
 	if batch <= 0 {
 		return fmt.Errorf("core: batch must be positive")
 	}
+	sp := e.params.Trace.Start("offline").SetBatch(batch)
+	defer func() { sp.End(err) }()
 	e.u = e.u[:0]
 	for li, l := range e.model.Layers {
 		// Convolutions multiply the same weights across every output
@@ -279,7 +281,9 @@ func (e *ServerEngine) Offline(batch int) error {
 		// exactly the paper's multi-batch reuse, applied to space instead
 		// of (only) batch.
 		sh := MatShape{M: l.Out, N: l.ColRows(), O: batch * l.Cols()}
+		lsp := e.params.Trace.Start("triplets").SetLayer(li).SetWorkers(par.Workers(e.params.Workers))
 		u, err := e.trip.GenerateServer(sh, l.W, ModeFor(sh.O))
+		lsp.End(err)
 		if err != nil {
 			return fmt.Errorf("core: server offline layer %d: %w", li, err)
 		}
@@ -292,10 +296,12 @@ func (e *ServerEngine) Offline(batch int) error {
 // Offline runs the client's data-independent phase: it samples the input
 // mask and every future activation share, then generates the matching
 // triplets layer by layer.
-func (e *ClientEngine) Offline(batch int) error {
+func (e *ClientEngine) Offline(batch int) (err error) {
 	if batch <= 0 {
 		return fmt.Errorf("core: batch must be positive")
 	}
+	sp := e.params.Trace.Start("offline").SetBatch(batch)
+	defer func() { sp.End(err) }()
 	rg := e.params.Ring
 	e.r0 = e.rng.Mat(rg, e.arch.InputSize(), batch)
 	e.z1 = make([]*ring.Mat, len(e.arch.Layers))
@@ -303,7 +309,9 @@ func (e *ClientEngine) Offline(batch int) error {
 	r := e.r0
 	for li, l := range e.arch.Layers {
 		sh := MatShape{M: l.Out, N: l.colRows(), O: batch * l.cols()}
+		lsp := e.params.Trace.Start("triplets").SetLayer(li).SetWorkers(par.Workers(e.params.Workers))
 		v, err := e.trip.GenerateClient(sh, shareCols(l, r), ModeFor(sh.O))
+		lsp.End(err)
 		if err != nil {
 			return fmt.Errorf("core: client offline layer %d: %w", li, err)
 		}
@@ -337,12 +345,16 @@ func (e *ServerEngine) Online() error { return e.online(false) }
 // PredictArgmax.
 func (e *ServerEngine) OnlineArgmax() error { return e.online(true) }
 
-func (e *ServerEngine) online(argmax bool) error {
+func (e *ServerEngine) online(argmax bool) (err error) {
 	if e.batch == 0 {
 		return fmt.Errorf("core: server Online without Offline")
 	}
+	sp := e.params.Trace.Start("online").SetBatch(e.batch)
+	defer func() { sp.End(err) }()
 	rg := e.params.Ring
+	isp := e.params.Trace.Start("input")
 	raw, err := e.conn.Recv()
+	isp.End(err)
 	if err != nil {
 		return fmt.Errorf("core: recv masked input: %w", err)
 	}
@@ -358,6 +370,7 @@ func (e *ServerEngine) online(argmax bool) error {
 		// The online matmul is the server's heaviest local step; rows of
 		// the product touch disjoint output slices, so they fan out across
 		// the worker pool.
+		msp := e.params.Trace.Start("matmul").SetLayer(li).SetWorkers(par.Workers(e.params.Workers))
 		cols := shareCols(spec, z0)
 		y0 := ring.NewMat(w.Rows, cols.Cols)
 		par.Chunks(e.params.Workers, w.Rows, func(_, lo, hi int) {
@@ -376,15 +389,20 @@ func (e *ServerEngine) online(argmax bool) error {
 			RequantVec0(rg, y0.Data, l.ReqC, l.ReqT)
 		}
 		f0 := foldBatch(y0, e.batch)
+		msp.End(nil)
 		switch {
 		case spec.Pool != nil:
+			psp := e.params.Trace.Start("pool").SetLayer(li)
 			zvec, err := e.nl.MaxPoolServer(f0.Data, poolWindowsFlat(spec, e.batch), l.ReLU)
+			psp.End(err)
 			if err != nil {
 				return fmt.Errorf("core: server pool layer %d: %w", li, err)
 			}
 			z0 = &ring.Mat{Rows: spec.outputSize(), Cols: e.batch, Data: zvec}
 		case l.ReLU:
+			rsp := e.params.Trace.Start("relu").SetLayer(li)
 			zvec, err := e.nl.ReLUServer(e.variant, f0.Data)
+			rsp.End(err)
 			if err != nil {
 				return fmt.Errorf("core: server ReLU layer %d: %w", li, err)
 			}
@@ -395,11 +413,19 @@ func (e *ServerEngine) online(argmax bool) error {
 	}
 	if argmax {
 		n := z0.Rows
-		if err := e.nl.ArgmaxServer(sampleMajor(z0), n, e.batch); err != nil {
+		asp := e.params.Trace.Start("argmax")
+		err := e.nl.ArgmaxServer(sampleMajor(z0), n, e.batch)
+		asp.End(err)
+		if err != nil {
 			return fmt.Errorf("core: server argmax: %w", err)
 		}
-	} else if err := e.conn.Send(rg.AppendVec(nil, z0.Data)); err != nil {
-		return fmt.Errorf("core: send output share: %w", err)
+	} else {
+		osp := e.params.Trace.Start("output")
+		err := e.conn.Send(rg.AppendVec(nil, z0.Data))
+		osp.End(err)
+		if err != nil {
+			return fmt.Errorf("core: send output share: %w", err)
+		}
 	}
 	e.batch = 0
 	return nil
@@ -420,13 +446,17 @@ func sampleMajor(m *ring.Mat) ring.Vec {
 // Predict runs one inference batch on the client side. X is the encoded
 // input matrix (InputSize x batch). It returns the reconstructed network
 // outputs (OutputSize x batch).
-func (e *ClientEngine) Predict(X *ring.Mat) (*ring.Mat, error) {
+func (e *ClientEngine) Predict(X *ring.Mat) (res *ring.Mat, err error) {
+	sp := e.params.Trace.Start("online").SetBatch(e.batch)
+	defer func() { sp.End(err) }()
 	f1, err := e.predictShares(X)
 	if err != nil {
 		return nil, err
 	}
 	rg := e.params.Ring
+	osp := e.params.Trace.Start("output")
 	raw, err := e.conn.Recv()
+	osp.End(err)
 	if err != nil {
 		return nil, fmt.Errorf("core: recv output share: %w", err)
 	}
@@ -435,7 +465,7 @@ func (e *ClientEngine) Predict(X *ring.Mat) (*ring.Mat, error) {
 	if err != nil || len(rest) != 0 {
 		return nil, fmt.Errorf("core: output share malformed: %v", err)
 	}
-	res := &ring.Mat{Rows: out, Cols: e.batch, Data: rg.AddVec(y0, f1.Data)}
+	res = &ring.Mat{Rows: out, Cols: e.batch, Data: rg.AddVec(y0, f1.Data)}
 	e.batch = 0
 	return res, nil
 }
@@ -443,13 +473,17 @@ func (e *ClientEngine) Predict(X *ring.Mat) (*ring.Mat, error) {
 // PredictArgmax runs one inference batch ending in the private argmax
 // protocol (pair with ServerEngine.OnlineArgmax): the client learns only
 // the winning class per sample.
-func (e *ClientEngine) PredictArgmax(X *ring.Mat) ([]int, error) {
+func (e *ClientEngine) PredictArgmax(X *ring.Mat) (classes []int, err error) {
+	sp := e.params.Trace.Start("online").SetBatch(e.batch)
+	defer func() { sp.End(err) }()
 	f1, err := e.predictShares(X)
 	if err != nil {
 		return nil, err
 	}
 	n := e.arch.OutputSize()
-	classes, err := e.nl.ArgmaxClient(sampleMajor(f1), n, e.batch)
+	asp := e.params.Trace.Start("argmax")
+	classes, err = e.nl.ArgmaxClient(sampleMajor(f1), n, e.batch)
+	asp.End(err)
 	if err != nil {
 		return nil, fmt.Errorf("core: client argmax: %w", err)
 	}
@@ -469,9 +503,12 @@ func (e *ClientEngine) predictShares(X *ring.Mat) (*ring.Mat, error) {
 	}
 	// Send the masked input <x>_0 = x - r.
 	x0 := rg.SubVec(X.Data, e.r0.Data)
+	isp := e.params.Trace.Start("input")
 	if err := e.conn.Send(rg.AppendVec(nil, x0)); err != nil {
+		isp.End(err)
 		return nil, fmt.Errorf("core: send masked input: %w", err)
 	}
+	isp.End(nil)
 	var f1 *ring.Mat
 	for li, l := range e.arch.Layers {
 		y1 := e.v[li]
@@ -481,11 +518,17 @@ func (e *ClientEngine) predictShares(X *ring.Mat) (*ring.Mat, error) {
 		f1 = foldBatch(y1, e.batch)
 		switch {
 		case l.Pool != nil:
-			if err := e.nl.MaxPoolClient(f1.Data, e.z1[li].Data, poolWindowsFlat(l, e.batch), l.ReLU); err != nil {
+			psp := e.params.Trace.Start("pool").SetLayer(li)
+			err := e.nl.MaxPoolClient(f1.Data, e.z1[li].Data, poolWindowsFlat(l, e.batch), l.ReLU)
+			psp.End(err)
+			if err != nil {
 				return nil, fmt.Errorf("core: client pool layer %d: %w", li, err)
 			}
 		case l.ReLU:
-			if err := e.nl.ReLUClient(e.variant, f1.Data, e.z1[li].Data); err != nil {
+			rsp := e.params.Trace.Start("relu").SetLayer(li)
+			err := e.nl.ReLUClient(e.variant, f1.Data, e.z1[li].Data)
+			rsp.End(err)
+			if err != nil {
 				return nil, fmt.Errorf("core: client ReLU layer %d: %w", li, err)
 			}
 		}

@@ -16,6 +16,7 @@ import (
 
 	"abnn2/internal/quant"
 	"abnn2/internal/ring"
+	"abnn2/internal/trace"
 	"abnn2/internal/transport"
 )
 
@@ -32,6 +33,10 @@ type Params struct {
 	// may use different values, and every value yields byte-identical
 	// transcripts.
 	Workers int
+	// Trace records per-phase/per-layer protocol spans. Purely local
+	// telemetry (the peer never observes it); nil disables tracing with
+	// zero overhead.
+	Trace *trace.Tracer
 }
 
 // Validate checks internal consistency.

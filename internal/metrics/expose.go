@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// Export surfaces: Prometheus text exposition format (format version
+// 0.0.4, what every scraper speaks) and an expvar-style JSON document
+// for humans and ad-hoc tooling.
+
+// WritePrometheus renders every registered metric in Prometheus text
+// format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	r.each(func(m *metric) {
+		switch it := m.item.(type) {
+		case *Counter:
+			pf("# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, it.Value())
+		case *Gauge:
+			pf("# HELP %s %s\n# TYPE %s gauge\n%s %d\n", m.name, m.help, m.name, m.name, it.Value())
+		case *CounterVec:
+			pf("# HELP %s %s\n# TYPE %s counter\n", m.name, m.help, m.name)
+			vals, cs := it.children()
+			for i, v := range vals {
+				pf("%s{%s=%s} %d\n", m.name, it.label, strconv.Quote(v), cs[i].Value())
+			}
+		case *Histogram:
+			pf("# HELP %s %s\n# TYPE %s histogram\n", m.name, m.help, m.name)
+			bounds, cum, sum, count := it.snapshot()
+			for i, b := range bounds {
+				pf("%s_bucket{le=%q} %d\n", m.name, formatFloat(b), cum[i])
+			}
+			pf("%s_bucket{le=\"+Inf\"} %d\n", m.name, count)
+			pf("%s_sum %s\n%s_count %d\n", m.name, formatFloat(sum), m.name, count)
+		}
+	})
+	return err
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest
+// round-trip representation).
+func formatFloat(f float64) string {
+	if math.IsInf(f, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// WriteJSON renders every registered metric as one JSON object, keyed by
+// metric name. Counters and gauges become numbers; counter families
+// become objects keyed by label value; histograms become
+// {count, sum, buckets}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := make(map[string]any)
+	r.each(func(m *metric) {
+		switch it := m.item.(type) {
+		case *Counter:
+			doc[m.name] = it.Value()
+		case *Gauge:
+			doc[m.name] = it.Value()
+		case *CounterVec:
+			kids := make(map[string]int64)
+			vals, cs := it.children()
+			for i, v := range vals {
+				kids[v] = cs[i].Value()
+			}
+			doc[m.name] = kids
+		case *Histogram:
+			bounds, cum, sum, count := it.snapshot()
+			buckets := make(map[string]uint64, len(bounds))
+			for i, b := range bounds {
+				buckets[formatFloat(b)] = cum[i]
+			}
+			doc[m.name] = map[string]any{"count": count, "sum": sum, "buckets": buckets}
+		}
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Handler serves the registry in Prometheus text format (mount at
+// /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the registry as a JSON document (mount at /vars).
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Collector is an in-memory Sink, for tests and post-run analysis.
+type Collector struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(s Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, s)
+	c.mu.Unlock()
+}
+
+// Spans returns a copy of everything collected so far, in emission order.
+func (c *Collector) Spans() []Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Span, len(c.spans))
+	copy(out, c.spans)
+	return out
+}
+
+// JSONL writes one JSON object per span to an io.Writer — the dump
+// format of the CLIs' -trace-out flags. Safe for concurrent Emit.
+type JSONL struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+}
+
+// NewJSONL returns a JSONL sink writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: w, enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink. Encoding errors are swallowed: telemetry must
+// never fail the protocol it observes.
+func (j *JSONL) Emit(s Span) {
+	j.mu.Lock()
+	_ = j.enc.Encode(s)
+	j.mu.Unlock()
+}
+
+// Multi fans every span out to several sinks (e.g. a metrics bridge and
+// a JSONL dump at the same time).
+func Multi(sinks ...Sink) Sink {
+	var live []Sink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiSink(live)
+}
+
+type multiSink []Sink
+
+func (m multiSink) Emit(s Span) {
+	for _, sink := range m {
+		sink.Emit(s)
+	}
+}
+
+// ReadJSONL parses a JSONL span dump produced by the JSONL sink.
+func ReadJSONL(r io.Reader) ([]Span, error) {
+	var spans []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return spans, nil
+}

@@ -6,6 +6,12 @@ import "sync"
 // between two parties: total bytes in each direction, message count, and
 // the number of one-way flights (direction flips), which is what latency
 // multiplies in a WAN.
+//
+// Two attributions are in use. A MeteredPipe observes both endpoints:
+// party A is the first conn of the pair. A MeterEndpoint observes one
+// endpoint only: party A is that endpoint itself, so BytesAB is what it
+// sent and BytesBA what it received — over a lossless transport the two
+// views agree.
 type Stats struct {
 	BytesAB  int64 // bytes sent by party A (the first conn of MeteredPipe)
 	BytesBA  int64 // bytes sent by party B
@@ -61,6 +67,10 @@ func (m *Meter) Reset() {
 func (m *Meter) record(sender int, n int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.recordLocked(sender, n)
+}
+
+func (m *Meter) recordLocked(sender int, n int) {
 	if sender == 1 {
 		m.stats.BytesAB += int64(n)
 	} else {
@@ -81,10 +91,20 @@ type meteredConn struct {
 }
 
 func (c *meteredConn) Send(msg []byte) error {
-	// Record before sending so a concurrent receiver observing the message
-	// also observes the accounting.
-	c.meter.record(c.party, len(msg))
-	return c.Conn.Send(msg)
+	// Record only after the transport accepts the message: a failed or
+	// faulted send (timeout, injected fault, closed conn) moved nothing,
+	// and counting it would inflate Stats. The meter lock is held across
+	// the transport send so the two endpoints' records land in wire
+	// order — otherwise the peer could receive this message and record
+	// its response before we record the send, making the shared flight
+	// count depend on scheduling.
+	c.meter.mu.Lock()
+	defer c.meter.mu.Unlock()
+	if err := c.Conn.Send(msg); err != nil {
+		return err
+	}
+	c.meter.recordLocked(c.party, len(msg))
+	return nil
 }
 
 // MeteredPipe returns an in-memory connected pair whose traffic is recorded
@@ -104,4 +124,38 @@ func Metered(a, b Conn) (Conn, Conn, *Meter) {
 	return &meteredConn{Conn: a, meter: m, party: 1},
 		&meteredConn{Conn: b, meter: m, party: 2},
 		m
+}
+
+// endpointConn meters a single endpoint in both directions: its sends
+// are recorded as party A, its receives as party B.
+type endpointConn struct {
+	Conn
+	meter *Meter
+}
+
+func (c *endpointConn) Send(msg []byte) error {
+	if err := c.Conn.Send(msg); err != nil {
+		return err
+	}
+	c.meter.record(1, len(msg))
+	return nil
+}
+
+func (c *endpointConn) Recv() ([]byte, error) {
+	msg, err := c.Conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	c.meter.record(2, len(msg))
+	return msg, nil
+}
+
+// MeterEndpoint wraps one endpoint of any connection — a TCP stream, a
+// pipe half, a fault wrapper — so that the returned Meter observes both
+// directions from this side alone, with no cooperation from the peer:
+// in the returned Stats, BytesAB is what this endpoint sent and BytesBA
+// what it received. Only successfully transferred messages are counted.
+func MeterEndpoint(c Conn) (Conn, *Meter) {
+	m := &Meter{}
+	return &endpointConn{Conn: c, meter: m}, m
 }

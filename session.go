@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"abnn2/internal/par"
+	"abnn2/internal/trace"
 	"abnn2/internal/transport"
 )
 
@@ -69,6 +70,7 @@ func recoveredError(op string, r any) *PanicError {
 // setting an immediate deadline when the session context is cancelled.
 type sessionConn struct {
 	inner    Conn
+	meter    *transport.Meter
 	timeout  time.Duration
 	ctx      context.Context
 	stop     chan struct{}
@@ -79,8 +81,13 @@ type sessionConn struct {
 // cancellable contexts) exits when the context fires or the session is
 // released — Close and release are both sufficient, so sessions never
 // leak goroutines.
+//
+// Every session is metered single-endedly (see transport.MeterEndpoint):
+// the cost is one mutex-protected counter update per framed message, no
+// allocations, so metering is always on and Stats always available.
 func newSessionConn(ctx context.Context, conn Conn, timeout time.Duration) *sessionConn {
-	c := &sessionConn{inner: conn, timeout: timeout, ctx: ctx, stop: make(chan struct{})}
+	mc, meter := transport.MeterEndpoint(conn)
+	c := &sessionConn{inner: mc, meter: meter, timeout: timeout, ctx: ctx, stop: make(chan struct{})}
 	if ctx.Done() != nil {
 		go func() {
 			select {
@@ -98,6 +105,17 @@ func newSessionConn(ctx context.Context, conn Conn, timeout time.Duration) *sess
 
 // release stops the cancellation watcher. Idempotent.
 func (c *sessionConn) release() { c.stopOnce.Do(func() { close(c.stop) }) }
+
+// Stats returns this endpoint's traffic totals so far: BytesAB is what
+// this party sent, BytesBA what it received.
+func (c *sessionConn) Stats() transport.Stats { return c.meter.Snapshot() }
+
+// counters adapts the session meter to the tracer's counter source, so
+// spans are stamped with byte/message/flight deltas automatically.
+func (c *sessionConn) counters() trace.Counters {
+	s := c.meter.Snapshot()
+	return trace.Counters{BytesSent: s.BytesAB, BytesRecvd: s.BytesBA, Messages: s.Messages, Flights: s.Flights}
+}
 
 // arm sets the round deadline. Streams without deadline support degrade
 // to unbounded rounds rather than failing the session.

@@ -36,7 +36,8 @@ func TestSecureInferenceOverTCP(t *testing.T) {
 			srvErr <- err
 			return
 		}
-		srvErr <- Serve(conn, qm, Config{RingBits: 64, RoundTimeout: time.Minute})
+		_, err = Serve(conn, qm, Config{RingBits: 64, RoundTimeout: time.Minute})
+		srvErr <- err
 	}()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -1,0 +1,63 @@
+package abnn2
+
+// Telemetry facade: the observability layer in internal/trace and
+// internal/transport, re-exported for users of the public API. Tracing
+// is enabled per endpoint via Config.Trace; traffic metering is always
+// on and exposed through Client.Stats, Server.Stats, and the Stats
+// return of Serve.
+
+import (
+	"io"
+
+	"abnn2/internal/trace"
+	"abnn2/internal/transport"
+)
+
+// Stats aggregates one endpoint's traffic totals. For a Client or
+// Server, BytesAB is what that endpoint sent and BytesBA what it
+// received; over a lossless transport the two parties' views mirror
+// each other.
+type Stats = transport.Stats
+
+// Meter collects Stats for a connection; see MeteredPipe.
+type Meter = transport.Meter
+
+// TraceSpan is one completed protocol phase: its name ("setup",
+// "offline", "triplets", "batch", "online", "input", "matmul", "relu",
+// "pool", "argmax", "output", "idle"), nesting (root spans partition a
+// session's traffic), layer/batch attribution, wall time, and the
+// bytes, messages, and flights it moved.
+type TraceSpan = trace.Span
+
+// TraceSink receives completed spans; set one as Config.Trace. Emit may
+// be called from the protocol goroutine and must not block for long.
+type TraceSink = trace.Sink
+
+// TraceCollector is an in-memory TraceSink for tests and post-run
+// analysis.
+type TraceCollector = trace.Collector
+
+// NewTraceCollector returns an empty in-memory sink.
+func NewTraceCollector() *TraceCollector { return &trace.Collector{} }
+
+// NewTraceWriter returns a sink streaming spans to w as JSON lines —
+// the dump format of the CLIs' -trace-out flags, readable back with
+// ReadTrace.
+func NewTraceWriter(w io.Writer) TraceSink { return trace.NewJSONL(w) }
+
+// MultiTraceSink fans spans out to several sinks; nils are skipped.
+func MultiTraceSink(sinks ...TraceSink) TraceSink { return trace.Multi(sinks...) }
+
+// ReadTrace parses a JSONL span dump produced by NewTraceWriter.
+func ReadTrace(r io.Reader) ([]TraceSpan, error) { return trace.ReadJSONL(r) }
+
+// TraceRoots filters a dump down to its root spans, which partition the
+// session's traffic (summing their bytes equals the endpoint's Stats).
+func TraceRoots(spans []TraceSpan) []TraceSpan { return trace.Roots(spans) }
+
+// TraceTable renders a per-phase/per-layer breakdown of a span dump —
+// the offline/online communication and latency split of the paper's
+// tables — as a fixed-width text table.
+func TraceTable(spans []TraceSpan) string {
+	return trace.FormatTable(trace.Summarize(spans))
+}

@@ -21,7 +21,7 @@ func runSecureWorkers(t *testing.T, qm *QuantizedModel, inputs [][]float64, work
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		srvErr = Serve(sc, qm, Config{RingBits: 64, Seed: 1, Workers: workers})
+		_, srvErr = Serve(sc, qm, Config{RingBits: 64, Seed: 1, Workers: workers})
 	}()
 	client, err := Dial(cc, qm.Arch(), Config{RingBits: 64, Seed: 2, Workers: workers})
 	if err != nil {
@@ -81,7 +81,7 @@ func TestWorkersMultiBatchAndOptimizedReLU(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			srvErr = Serve(sc, qm, Config{RingBits: 32, OptimizedReLU: true, Seed: 3, Workers: workers})
+			_, srvErr = Serve(sc, qm, Config{RingBits: 32, OptimizedReLU: true, Seed: 3, Workers: workers})
 		}()
 		client, err := Dial(cc, qm.Arch(), Config{RingBits: 32, OptimizedReLU: true, Seed: 4, Workers: workers})
 		if err != nil {
