@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench tables ablations accuracy fuzz chaos clean
+.PHONY: all build test vet race bench tables ablations accuracy conformance fuzz corpus chaos clean
 
 all: build test
 
@@ -41,6 +41,14 @@ chaos:
 	$(GO) test -race -count=1 -run 'DisconnectAtEveryMessage|TestOfflineSurvivesPeerDisappearing' ./internal/core
 	$(GO) test -race -count=1 ./internal/transport
 
+# Conformance tier: the full 200-model differential sweep (secure
+# inference vs plaintext QNN, exact equality) plus golden wire
+# transcripts and the backend/edge cross-checks. `-short` runs a 40-seed
+# cut that still covers the full eta x ring-width grid.
+conformance:
+	$(GO) test -count=1 ./internal/testkit
+	$(GO) test -count=1 -run TestConformanceSmoke .
+
 # Short fuzz pass over every fuzz target.
 fuzz:
 	$(GO) test ./internal/quant -fuzz FuzzParse -fuzztime 10s
@@ -50,7 +58,24 @@ fuzz:
 	$(GO) test ./internal/transport -fuzz FuzzStreamRecv -fuzztime 10s
 	$(GO) test ./internal/transport -fuzz FuzzStreamRoundTrip -fuzztime 10s
 	$(GO) test ./internal/par -fuzz FuzzParMap -fuzztime 10s
+	$(GO) test ./internal/otext -fuzz FuzzSenderExtend -fuzztime 10s
+	$(GO) test ./internal/otext -fuzz FuzzRecvChosen -fuzztime 10s
+	$(GO) test ./internal/otext -fuzz FuzzRecvCorrelatedRing -fuzztime 10s
+	$(GO) test ./internal/gc -fuzz FuzzEvaluatorRun -fuzztime 10s
+	$(GO) test ./internal/gc -fuzz 'FuzzEvaluate$$' -fuzztime 10s
+	$(GO) test ./internal/core -fuzz FuzzTripletPayloadOneBatch -fuzztime 10s
+	$(GO) test ./internal/core -fuzz FuzzTripletPayloadMultiBatch -fuzztime 10s
+	$(GO) test ./internal/baseot -fuzz 'FuzzReceive$$' -fuzztime 10s
+	$(GO) test ./internal/baseot -fuzz 'FuzzSend$$' -fuzztime 10s
+	$(GO) test ./internal/paillier -fuzz FuzzUnmarshalCiphertext -fuzztime 10s
 
+# Regenerate the checked-in wire-parser seed corpora
+# (internal/*/testdata/fuzz). Run after changing any wire format.
+corpus:
+	$(GO) run ./internal/testkit/gencorpus
+
+# The checked-in seed corpora under internal/*/testdata/fuzz are source,
+# not build output — clean only removes crashers the fuzzer minimised
+# into the Go build cache, which `go clean -fuzzcache` handles.
 clean:
 	$(GO) clean ./...
-	rm -rf internal/*/testdata/fuzz

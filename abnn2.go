@@ -71,7 +71,10 @@ type Config struct {
 	// is ~3x cheaper in garbled tables but reveals each activation's sign
 	// to both parties. Off by default.
 	OptimizedReLU bool
-	// Seed, when non-zero, makes the client's randomness deterministic
+	// Seed, when non-zero, makes this endpoint's randomness deterministic
+	// — for the client and the server role alike. With both parties
+	// seeded the entire wire transcript is byte-reproducible, which the
+	// conformance harness uses for golden-transcript regression tests
 	// (testing/benchmarks only — never set in production).
 	Seed uint64
 	// Workers bounds the compute parallelism of the protocol kernels (OT
@@ -195,7 +198,7 @@ func newServer(ctx context.Context, conn Conn, model *QuantizedModel, cfg Config
 	p := core.Params{Ring: ring.New(cfg.ringBits()), Scheme: scheme, Workers: cfg.Workers, Trace: tr}
 	sp := tr.Start("setup")
 	eng, err := guardVal("server setup", func() (*core.ServerEngine, error) {
-		return core.NewServerEngine(sc, model.qm, p, cfg.variant())
+		return core.NewServerEngineSeeded(sc, model.qm, p, cfg.variant(), cfg.rng())
 	})
 	sp.End(err)
 	if err != nil {

@@ -1,0 +1,30 @@
+package abnn2_test
+
+import (
+	"testing"
+
+	"abnn2/internal/testkit"
+)
+
+// TestConformanceSmoke runs a slice of the internal/testkit differential
+// sweep through the public facade: seeded random models, full two-party
+// inference over an in-memory transport, exact equality against the
+// plaintext quantized network. The full 200-model sweep lives in
+// internal/testkit (go test ./internal/testkit/ or make conformance);
+// this root-level cut keeps the facade itself on the conformance hook
+// with a handful of seeds spanning the eta and ring-width grid.
+func TestConformanceSmoke(t *testing.T) {
+	seeds := []uint64{0, 1, 2, 3, 4, 5, 11, 23}
+	if testing.Short() {
+		seeds = seeds[:4]
+	}
+	for _, seed := range seeds {
+		c := testkit.Generate(seed)
+		t.Run(c.Desc(), func(t *testing.T) {
+			t.Parallel()
+			if err := testkit.CheckCase(c); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

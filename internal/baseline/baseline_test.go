@@ -186,3 +186,37 @@ func TestQuotientRejectsNonTernary(t *testing.T) {
 		t.Error("non-ternary weight accepted")
 	}
 }
+
+// A malicious client can hand the MiniONN server any bytes as its
+// Paillier ciphertext flight. An all-zero flight of the correct length
+// used to reach MulConst's modular inversion (undefined for non-units)
+// and panic the server; it must now fail at Unmarshal with an error.
+func TestMiniONNRejectsNonUnitCiphertexts(t *testing.T) {
+	ca, cb := transport.Pipe()
+	rg := ring.New(32)
+	var (
+		srv  *MiniONNServer
+		serr error
+		wg   sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv, serr = NewMiniONNServer(cb, rg, prg.New(prg.SeedFromInt(21)))
+	}()
+	cl, cerr := NewMiniONNClient(ca, rg, 512, prg.New(prg.SeedFromInt(22)))
+	wg.Wait()
+	if cerr != nil || serr != nil {
+		t.Fatalf("setup: client=%v server=%v", cerr, serr)
+	}
+	_ = cl
+	m, n, o := 2, 2, 1
+	ctBytes := srv.pk.CiphertextBytes()
+	if err := ca.Send(make([]byte, n*o*ctBytes)); err != nil {
+		t.Fatal(err)
+	}
+	W := []int64{1, -3, 2, -1} // negative weights force the inversion path
+	if _, err := srv.GenerateServer(W, m, n, o); err == nil {
+		t.Fatal("server accepted non-unit ciphertexts")
+	}
+}

@@ -63,7 +63,7 @@ func TestTranscriptDeterminism(t *testing.T) {
 		// client's payload bytes... except the base-OT B points do (they
 		// key the pads). So pin the server randomness too by using the
 		// lower-level constructor path.
-		st, err := newServerTripletsSeeded(rcb, p, 1, prg.New(prg.SeedFromInt(103)))
+		st, err := NewServerTripletsSeeded(rcb, p, 1, prg.New(prg.SeedFromInt(103)))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -222,6 +222,15 @@ type ClientEngine struct {
 // NewServerEngine sets up the server side: base OTs for the triplet and
 // GC subsystems run here, in a fixed order mirrored by NewClientEngine.
 func NewServerEngine(conn Conn, model *nn.QuantizedModel, p Params, variant ReLUVariant) (*ServerEngine, error) {
+	return NewServerEngineSeeded(conn, model, p, variant, prg.New(prg.NewSeed()))
+}
+
+// NewServerEngineSeeded is NewServerEngine with caller-controlled
+// randomness. With both parties seeded the whole session transcript is
+// byte-reproducible, which the conformance harness (internal/testkit)
+// relies on for golden wire transcripts; production callers should let
+// NewServerEngine draw an OS seed.
+func NewServerEngineSeeded(conn Conn, model *nn.QuantizedModel, p Params, variant ReLUVariant, rng *prg.PRG) (*ServerEngine, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -233,11 +242,11 @@ func NewServerEngine(conn Conn, model *nn.QuantizedModel, p Params, variant ReLU
 			}
 		}
 	}
-	trip, err := NewServerTriplets(conn, p, sessionTriplets)
+	trip, err := NewServerTripletsSeeded(conn, p, sessionTriplets, rng.Child("triplets"))
 	if err != nil {
 		return nil, err
 	}
-	nl, err := NewServerNonlinear(conn, p.Ring, sessionGC, prg.New(prg.NewSeed()))
+	nl, err := NewServerNonlinear(conn, p.Ring, sessionGC, rng.Child("gc"))
 	if err != nil {
 		return nil, err
 	}

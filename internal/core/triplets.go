@@ -55,12 +55,13 @@ func NewClientTriplets(conn Conn, p Params, session uint64, rng *prg.PRG) (*Clie
 // receiver's setup randomness is independent of any secret reuse, so it
 // is drawn from a fresh OS seed.
 func NewServerTriplets(conn Conn, p Params, session uint64) (*ServerTriplets, error) {
-	return newServerTripletsSeeded(conn, p, session, prg.New(prg.NewSeed()))
+	return NewServerTripletsSeeded(conn, p, session, prg.New(prg.NewSeed()))
 }
 
-// newServerTripletsSeeded is NewServerTriplets with caller-controlled
-// randomness (transcript-determinism tests).
-func newServerTripletsSeeded(conn Conn, p Params, session uint64, rng *prg.PRG) (*ServerTriplets, error) {
+// NewServerTripletsSeeded is NewServerTriplets with caller-controlled
+// randomness, the form the transcript-determinism and golden-transcript
+// tests (internal/testkit) pin both parties with.
+func NewServerTripletsSeeded(conn Conn, p Params, session uint64, rng *prg.PRG) (*ServerTriplets, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

@@ -138,7 +138,12 @@ func (pk *PublicKey) Marshal(ct *Ciphertext) []byte {
 	return ct.C.FillBytes(make([]byte, pk.CiphertextBytes()))
 }
 
-// Unmarshal parses a fixed-width ciphertext.
+// Unmarshal parses a fixed-width ciphertext. Beyond the range check it
+// rejects non-units of Z_{N^2}: a valid ciphertext is always coprime to
+// N, and a crafted non-unit (e.g. zero, or a multiple of a factor of N)
+// would later make MulConst's modular inversion fail. The gcd costs
+// microseconds against the milliseconds of the exponentiations that
+// follow, so attacker-shaped bytes are cheap to screen here.
 func (pk *PublicKey) Unmarshal(b []byte) (*Ciphertext, error) {
 	if len(b) != pk.CiphertextBytes() {
 		return nil, fmt.Errorf("paillier: ciphertext is %d bytes, want %d", len(b), pk.CiphertextBytes())
@@ -146,6 +151,9 @@ func (pk *PublicKey) Unmarshal(b []byte) (*Ciphertext, error) {
 	c := new(big.Int).SetBytes(b)
 	if c.Cmp(pk.N2) >= 0 {
 		return nil, fmt.Errorf("paillier: ciphertext out of range")
+	}
+	if new(big.Int).GCD(nil, nil, c, pk.N).Cmp(big.NewInt(1)) != 0 {
+		return nil, fmt.Errorf("paillier: ciphertext is not a unit")
 	}
 	return &Ciphertext{C: c}, nil
 }

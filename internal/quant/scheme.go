@@ -77,7 +77,14 @@ func (s *bitScheme) Name() string {
 	for i, w := range s.widths {
 		parts[i] = strconv.Itoa(int(w))
 	}
-	return fmt.Sprintf("%d(%s)", s.eta, strings.Join(parts, ","))
+	// The "u" prefix mirrors Parse: without it an unsigned scheme's name
+	// would deserialise as the signed scheme of the same widths, whose
+	// range rejects the upper half of the unsigned weights.
+	prefix := ""
+	if !s.signed {
+		prefix = "u"
+	}
+	return fmt.Sprintf("%s%d(%s)", prefix, s.eta, strings.Join(parts, ","))
 }
 
 func (s *bitScheme) Gamma() int { return len(s.widths) }

@@ -77,6 +77,7 @@ func TestSchemeNames(t *testing.T) {
 		"8(2,2,2,2)": NewBitScheme(true, 2, 2, 2, 2),
 		"8(3,3,2)":   NewBitScheme(true, 3, 3, 2),
 		"3(2,1)":     NewBitScheme(true, 2, 1),
+		"u4(2,2)":    NewBitScheme(false, 2, 2),
 	}
 	for want, s := range cases {
 		if s.Name() != want {
@@ -101,6 +102,25 @@ func TestParse(t *testing.T) {
 		frags, err = sch.Decompose(max)
 		if err != nil || recompose(sch, frags) != max {
 			t.Errorf("Parse(%q): max roundtrip failed", s)
+		}
+	}
+	// Name/Parse must be mutually inverse: models serialise schemes by
+	// name, so a scheme whose name parses to a different scheme corrupts
+	// the model on reload (this caught the unsigned "u" prefix omission).
+	for _, s := range good {
+		sch, err := Parse(s)
+		if err != nil {
+			continue
+		}
+		back, err := Parse(sch.Name())
+		if err != nil {
+			t.Errorf("Parse(Name(%q)) = %q failed: %v", s, sch.Name(), err)
+			continue
+		}
+		min, max := sch.Range()
+		bmin, bmax := back.Range()
+		if bmin != min || bmax != max || back.Gamma() != sch.Gamma() {
+			t.Errorf("Parse(Name(%q)): range/gamma changed (%d..%d gamma %d)", s, bmin, bmax, back.Gamma())
 		}
 	}
 	bad := []string{"", "8", "8(2,2)", "8(2,2,2,x)", "(2,2)", "8[2,2,2,2]"}

@@ -1,0 +1,151 @@
+// Command gencorpus regenerates the checked-in seed corpora for the
+// wire-parser fuzz targets (testdata/fuzz/<Target>/ in each package).
+// The corpora encode protocol knowledge the coverage-guided mutator
+// would otherwise have to rediscover: exact valid frame lengths for
+// every parser, the off-by-one neighbours, and structured fills that
+// exercise non-trivial decode paths (set high bits for ring
+// canonicality checks, curve points for base OT). Run from the repo
+// root after changing any wire format:
+//
+//	go run ./internal/testkit/gencorpus
+package main
+
+import (
+	"crypto/elliptic"
+	"fmt"
+	"math/big"
+	"os"
+	"path/filepath"
+
+	"abnn2/internal/gc"
+	"abnn2/internal/paillier"
+	"abnn2/internal/prg"
+)
+
+// entry is one corpus file: a sequence of fuzz arguments, all []byte.
+type entry [][]byte
+
+func writeCorpus(dir string, entries []entry) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for i, e := range entries {
+		var buf []byte
+		buf = append(buf, "go test fuzz v1\n"...)
+		for _, arg := range e {
+			buf = append(buf, fmt.Sprintf("[]byte(%q)\n", arg)...)
+		}
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, buf, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("%s: %d entries\n", dir, len(entries))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gencorpus:", err)
+	os.Exit(1)
+}
+
+// fills returns single-argument entries around a parser's valid frame
+// length: exact, both off-by-one neighbours, empty, and patterned fills
+// that survive the length check and reach the decode logic.
+func fills(valid int, g *prg.PRG) []entry {
+	ff := make([]byte, valid)
+	hi := make([]byte, valid)
+	for i := range ff {
+		ff[i] = 0xFF
+		hi[i] = 0x80
+	}
+	out := []entry{
+		{make([]byte, valid)},
+		{ff},
+		{hi},
+		{g.Bytes(valid)},
+		{[]byte{}},
+	}
+	if valid > 0 {
+		out = append(out, entry{make([]byte, valid-1)}, entry{make([]byte, valid+1)})
+	}
+	return out
+}
+
+func main() {
+	g := prg.New(prg.SeedFromInt(0xC0))
+
+	// internal/otext: u-matrix for WH(16)/m=8 is 256 bytes; 1-of-4
+	// chosen cts at msgLen 4 are 64 bytes; COT corrections for 3 OTs
+	// over the 33-bit ring are 15 bytes.
+	writeCorpus("internal/otext/testdata/fuzz/FuzzSenderExtend", fills(256, g))
+	writeCorpus("internal/otext/testdata/fuzz/FuzzRecvChosen", fills(64, g))
+	writeCorpus("internal/otext/testdata/fuzz/FuzzRecvCorrelatedRing", fills(15, g))
+
+	// internal/gc: garbled-material flight for BatchReLUCircuit(4, 2).
+	relu := gc.BatchReLUCircuit(4, 2)
+	want := relu.TableBytes() + relu.NumGarbler*gc.LabelSize +
+		(len(relu.Outputs)+7)/8 + relu.NumEvaluator*2*gc.LabelSize
+	writeCorpus("internal/gc/testdata/fuzz/FuzzEvaluatorRun", fills(want, g))
+	sign := gc.BatchSignCircuit(8, 1)
+	var evalEntries []entry
+	for _, e := range fills(sign.TableBytes(), g) {
+		evalEntries = append(evalEntries, entry{e[0], g.Bytes(2 * gc.LabelSize)})
+	}
+	writeCorpus("internal/gc/testdata/fuzz/FuzzEvaluate", evalEntries)
+
+	// internal/core: triplet payloads for shape 2x3 over 4(2,2) and the
+	// 33-bit ring — 12 OTs of (N-1)*5 bytes one-batch, N*o*5 multi-batch.
+	writeCorpus("internal/core/testdata/fuzz/FuzzTripletPayloadOneBatch", fills(12*3*5, g))
+	writeCorpus("internal/core/testdata/fuzz/FuzzTripletPayloadMultiBatch", fills(12*4*2*5, g))
+
+	// internal/baseot: point flights over P-256 (65-byte uncompressed
+	// points). Valid points matter: random 65-byte strings are almost
+	// never on the curve, so seed real multiples of the generator.
+	curve := elliptic.P256()
+	points := make([][]byte, 4)
+	for i := range points {
+		x, y := curve.ScalarBaseMult([]byte{byte(i + 1)})
+		points[i] = elliptic.Marshal(curve, x, y)
+	}
+	recvEntries := []entry{
+		{points[0], make([]byte, 64)},
+		{points[1], g.Bytes(64)},
+		{points[2], make([]byte, 63)},
+		{make([]byte, 65), make([]byte, 64)},
+		{[]byte{}, []byte{}},
+	}
+	writeCorpus("internal/baseot/testdata/fuzz/FuzzReceive", recvEntries)
+	sendEntries := []entry{
+		{append(append([]byte{}, points[0]...), points[1]...)},
+		{append(append([]byte{}, points[2]...), points[3]...)},
+		{make([]byte, 130)},
+		{g.Bytes(130)},
+		{[]byte{}},
+	}
+	writeCorpus("internal/baseot/testdata/fuzz/FuzzSend", sendEntries)
+
+	// internal/paillier: the fuzz target's key is GenerateKey(seed 1,
+	// 512), the package test key. Seed real ciphertexts plus the two
+	// classic non-units (0 and N) at the exact wire width.
+	sk, err := paillier.GenerateKey(prg.New(prg.SeedFromInt(1)), 512)
+	if err != nil {
+		fatal(err)
+	}
+	pk := &sk.PublicKey
+	ctBytes := pk.CiphertextBytes()
+	var pailEntries []entry
+	for _, m := range []int64{0, 1, 1 << 40} {
+		ct, err := pk.Encrypt(g, big.NewInt(m))
+		if err != nil {
+			fatal(err)
+		}
+		pailEntries = append(pailEntries, entry{pk.Marshal(ct)})
+	}
+	pailEntries = append(pailEntries,
+		entry{make([]byte, ctBytes)},
+		entry{pk.N.FillBytes(make([]byte, ctBytes))},
+		entry{new(big.Int).Mul(pk.N, big.NewInt(3)).FillBytes(make([]byte, ctBytes))},
+		entry{g.Bytes(ctBytes)},
+	)
+	writeCorpus("internal/paillier/testdata/fuzz/FuzzUnmarshalCiphertext", pailEntries)
+}

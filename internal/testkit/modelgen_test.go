@@ -1,0 +1,65 @@
+package testkit
+
+import (
+	"bytes"
+	"testing"
+
+	"abnn2/internal/nn"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		a, err := nn.MarshalQuantized(Generate(seed).Model)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := nn.MarshalQuantized(Generate(seed).Model)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: Generate is not deterministic", seed)
+		}
+		ca, cb := Generate(seed), Generate(seed)
+		if ca.Batch != cb.Batch || ca.RingBits != cb.RingBits || ca.Scheme != cb.Scheme {
+			t.Fatalf("seed %d: case parameters not deterministic", seed)
+		}
+	}
+}
+
+// Every generated model must survive its own wire format: serialise,
+// reparse (which validates each weight against the scheme), and match
+// byte-for-byte on reserialisation.
+func TestGenerateRoundTrips(t *testing.T) {
+	for seed := uint64(0); seed < 60; seed++ {
+		c := Generate(seed)
+		data, err := nn.MarshalQuantized(c.Model)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", c.Desc(), err)
+		}
+		back, err := nn.UnmarshalQuantized(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", c.Desc(), err)
+		}
+		again, err := nn.MarshalQuantized(back)
+		if err != nil {
+			t.Fatalf("%s: remarshal: %v", c.Desc(), err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("%s: JSON round trip not stable", c.Desc())
+		}
+		if len(c.Inputs) != c.Batch {
+			t.Fatalf("%s: %d inputs for batch %d", c.Desc(), len(c.Inputs), c.Batch)
+		}
+		for k, x := range c.Inputs {
+			if len(x) != c.Model.InputSize() {
+				t.Fatalf("%s: input %d has %d features, want %d", c.Desc(), k, len(x), c.Model.InputSize())
+			}
+		}
+		for li, l := range c.Model.Layers {
+			if l.ReqC != 0 {
+				t.Fatalf("%s: layer %d requantizes; generated models must be exact (ReqC=0)", c.Desc(), li)
+			}
+		}
+	}
+}

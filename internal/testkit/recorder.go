@@ -1,0 +1,174 @@
+package testkit
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"abnn2/internal/transport"
+)
+
+// RecordingConn wraps a transport.Conn and logs every flight this
+// endpoint sends, in send order. Each party records only its own sends,
+// so the log is deterministic even when both parties run concurrently
+// (the interleaving across directions is not, and is not recorded).
+type RecordingConn struct {
+	transport.Conn
+	mu      sync.Mutex
+	flights [][]byte
+}
+
+// Record wraps conn so that sent flights are captured.
+func Record(conn transport.Conn) *RecordingConn {
+	return &RecordingConn{Conn: conn}
+}
+
+// Send logs the flight and forwards it.
+func (r *RecordingConn) Send(msg []byte) error {
+	cp := append([]byte(nil), msg...)
+	r.mu.Lock()
+	r.flights = append(r.flights, cp)
+	r.mu.Unlock()
+	return r.Conn.Send(msg)
+}
+
+// Transcript returns the flights sent so far.
+func (r *RecordingConn) Transcript() *Transcript {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &Transcript{Flights: append([][]byte(nil), r.flights...)}
+}
+
+// Transcript is the ordered flight log of one party's sends.
+type Transcript struct {
+	Flights [][]byte
+}
+
+// Bytes returns the total payload bytes across all flights.
+func (t *Transcript) Bytes() int {
+	n := 0
+	for _, f := range t.Flights {
+		n += len(f)
+	}
+	return n
+}
+
+// Shape returns the per-flight lengths — the communication pattern. Two
+// transcripts with equal shapes put the same number of flights of the
+// same sizes on the wire, regardless of content.
+func (t *Transcript) Shape() []int {
+	s := make([]int, len(t.Flights))
+	for i, f := range t.Flights {
+		s[i] = len(f)
+	}
+	return s
+}
+
+// Equal reports whether two transcripts are byte-identical.
+func (t *Transcript) Equal(o *Transcript) bool {
+	if len(t.Flights) != len(o.Flights) {
+		return false
+	}
+	for i := range t.Flights {
+		if !bytes.Equal(t.Flights[i], o.Flights[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff describes the first difference between two transcripts, or ""
+// when they are byte-identical.
+func (t *Transcript) Diff(o *Transcript) string {
+	n := len(t.Flights)
+	if len(o.Flights) < n {
+		n = len(o.Flights)
+	}
+	for i := 0; i < n; i++ {
+		a, b := t.Flights[i], o.Flights[i]
+		if len(a) != len(b) {
+			return fmt.Sprintf("flight %d: %d bytes vs %d bytes", i, len(a), len(b))
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return fmt.Sprintf("flight %d: byte %d differs (%#02x vs %#02x)", i, k, a[k], b[k])
+			}
+		}
+	}
+	if len(t.Flights) != len(o.Flights) {
+		return fmt.Sprintf("flight count %d vs %d", len(t.Flights), len(o.Flights))
+	}
+	return ""
+}
+
+// PartyTranscript labels one party's transcript for golden serialisation.
+type PartyTranscript struct {
+	Party string
+	T     *Transcript
+}
+
+// FormatGolden renders transcripts in the canonical golden-file format:
+// one line per flight carrying its length and SHA-256, plus per-party
+// totals. Comparing two renderings byte-for-byte is equivalent to
+// comparing the transcripts byte-for-byte (collision-resistance of the
+// hash), while keeping checked-in goldens small and diff-friendly.
+func FormatGolden(protocol string, parties []PartyTranscript) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# abnn2 golden wire transcript v1\n")
+	fmt.Fprintf(&b, "protocol %s\n", protocol)
+	for _, p := range parties {
+		fmt.Fprintf(&b, "party %s flights=%d bytes=%d\n", p.Party, len(p.T.Flights), p.T.Bytes())
+		for i, f := range p.T.Flights {
+			sum := sha256.Sum256(f)
+			fmt.Fprintf(&b, "  flight %d len=%d sha256=%x\n", i, len(f), sum)
+		}
+	}
+	return b.Bytes()
+}
+
+// GoldenPath returns the testdata path of a named golden transcript.
+func GoldenPath(name string) string {
+	return filepath.Join("testdata", "transcripts", name+".golden")
+}
+
+// CompareGolden checks the rendered transcripts against the checked-in
+// golden file. When update is true it (re)writes the file instead and
+// returns nil. A missing golden without -update is an error: goldens are
+// part of the repository, not generated on the fly.
+func CompareGolden(name, protocol string, parties []PartyTranscript, update bool) error {
+	got := FormatGolden(protocol, parties)
+	path := GoldenPath(name)
+	if update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(path, got, 0o644)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("missing golden %s (run with -update to record): %w", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("transcript for %q differs from golden %s;\nrecorded:\n%s\ngolden:\n%s\nif the wire format change is intentional, regenerate with -update",
+			protocol, path, got, want)
+	}
+	return nil
+}
+
+// EqualShapes reports whether two transcripts have identical
+// communication patterns (flight counts and sizes).
+func EqualShapes(a, b *Transcript) bool {
+	as, bs := a.Shape(), b.Shape()
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

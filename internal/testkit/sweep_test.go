@@ -1,0 +1,78 @@
+package testkit
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+)
+
+// The differential sweep: hundreds of seeded models through full
+// two-party inference, each checked bit-exact against the plaintext
+// ring reference. Reproduce a single failure with:
+//
+//	go test ./internal/testkit -run TestDifferentialSweep -conformance.seed=<N>
+
+var caseSeed = flag.Int64("conformance.seed", -1,
+	"run the differential check for exactly this generator seed")
+
+// sweepSeeds is the full sweep size. Any 40 consecutive seeds cover the
+// full eta x ring grid (see Generate), so 200 covers it five times over
+// with varied schemes, depths, and batch sizes.
+const sweepSeeds = 200
+
+func TestDifferentialSweep(t *testing.T) {
+	if *caseSeed >= 0 {
+		c := Generate(uint64(*caseSeed))
+		t.Logf("case: %s", c.Desc())
+		if err := CheckCase(c); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	n := sweepSeeds
+	if testing.Short() {
+		n = 40 // one full pass over the eta x ring grid
+	}
+	for seed := 0; seed < n; seed++ {
+		seed := uint64(seed)
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			if err := CheckCase(Generate(seed)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSweepCoverage proves the sweep's first 40 seeds span the whole
+// conformance grid: every weight bitwidth 1..8 under every ring width,
+// both batch regimes, and at least one convolutional model.
+func TestSweepCoverage(t *testing.T) {
+	grid := make(map[[2]int]bool)
+	oneBatch, multiBatch, conv := false, false, false
+	for seed := uint64(0); seed < 40; seed++ {
+		c := Generate(seed)
+		grid[[2]int{c.Eta, int(c.RingBits)}] = true
+		if c.Batch == 1 {
+			oneBatch = true
+		} else {
+			multiBatch = true
+		}
+		if c.Model.Layers[0].Conv != nil {
+			conv = true
+		}
+	}
+	for eta := 1; eta <= 8; eta++ {
+		for _, l := range RingWidths {
+			if !grid[[2]int{eta, int(l)}] {
+				t.Errorf("eta=%d ring=%d never generated in 40 seeds", eta, l)
+			}
+		}
+	}
+	if !oneBatch || !multiBatch {
+		t.Errorf("batch regimes: oneBatch=%v multiBatch=%v, want both", oneBatch, multiBatch)
+	}
+	if !conv {
+		t.Error("no convolutional model in 40 seeds")
+	}
+}

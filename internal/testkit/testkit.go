@@ -1,0 +1,30 @@
+// Package testkit is the protocol conformance harness: the regression
+// substrate every perf or refactor PR runs against.
+//
+// It provides three reusable pieces:
+//
+//   - A deterministic randomized-model generator (Generate): seeded
+//     FC/conv/pool/ReLU stacks spanning the arbitrary-bitwidth space the
+//     paper targets — weight bitwidths eta in 1..8 under every scheme
+//     family (binary, ternary, signed/unsigned fragmentations), share
+//     rings l in {8, 16, 32, 33, 64}, one-batch and multi-batch sizes.
+//
+//   - A dual-execution differential checker (CheckCase): full two-party
+//     secure inference over an in-memory transport, asserted bit-exact
+//     against the plaintext quantized reference (nn.ForwardRing). The
+//     secure path and the reference are independent implementations of
+//     the same function, so a silent arithmetic bug in either one shows
+//     up as a mismatch with a reproducible seed.
+//
+//   - A wire-transcript recorder plus golden-file framework (Record,
+//     CompareGolden): per-party, per-flight byte-level digests of
+//     protocol transcripts, checked into testdata/ and regenerated with
+//     -update. Goldens prove transcripts are invariant to Config.Workers
+//     and that refactors do not silently change the wire format; flight
+//     shapes (lengths, counts) additionally prove the communication
+//     pattern is independent of secret inputs.
+//
+// The package is imported only by tests; it lives outside _test files so
+// the root package, internal/core, and internal/baseline suites can all
+// share one oracle.
+package testkit
