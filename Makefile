@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench tables ablations accuracy conformance fuzz corpus chaos clean
+.PHONY: all build test vet race bench tables ablations accuracy bank conformance fuzz corpus chaos clean
 
 all: build test
 
@@ -32,6 +32,16 @@ ablations:
 
 accuracy:
 	$(GO) run ./cmd/abnn2-bench -accuracy
+
+# Correlation-bank tier under the race detector: the bank's own unit
+# tests, the banked-vs-inline dual-execution equivalence suite (plus the
+# banked golden transcript), the bank chaos tests, and the offline/online
+# bench split.
+bank:
+	$(GO) test -race -count=1 ./internal/bank
+	$(GO) test -race -count=1 -run 'TestBanked|TestBankMatmul|TestGoldenSessionBanked' ./internal/testkit
+	$(GO) test -race -count=1 -run 'TestChaosBank' -v .
+	$(GO) test -count=1 -run 'TestTableBankSplit|TestBankBaselineFile' ./internal/bench
 
 # Fault-injection tier under the race detector: full inference through
 # every transport fault class, disconnects at every subprotocol message

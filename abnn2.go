@@ -26,11 +26,13 @@ package abnn2
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"time"
 
+	"abnn2/internal/bank"
 	"abnn2/internal/core"
 	"abnn2/internal/prg"
 	"abnn2/internal/quant"
@@ -100,6 +102,23 @@ type Config struct {
 	// with logs and metrics when one process runs many sessions. Purely
 	// local; 0 is a valid ID.
 	SessionID uint64
+	// Bank, when non-nil, provisions batches from precomputed correlation
+	// pools instead of running the offline phase on the request path. Both
+	// endpoints of a session must share the same *Bank instance (it is an
+	// in-process trusted dealer; see NewBank): the client Acquires its
+	// half and announces the correlation ID, the server Claims the paired
+	// half. Behaviour on a dry pool is set by OfflineMode.
+	Bank *Bank
+	// OfflineMode selects inline vs banked offline provisioning; the zero
+	// value OfflineAuto prefers the bank and falls back inline. Ignored
+	// when Bank is nil (everything runs inline) except that OfflineBanked
+	// then fails validation on the client.
+	OfflineMode OfflineMode
+	// BankModel is the model ID (from RegisterBankModel / BankModelID)
+	// the client keys its pool draws with. Client-side only: the server
+	// derives the ID from the model it serves. Required when Bank is set
+	// on a client and OfflineMode is not OfflineInline.
+	BankModel string
 }
 
 func (c Config) ringBits() uint {
@@ -119,6 +138,12 @@ func (c Config) validate() error {
 	}
 	if c.RoundTimeout < 0 {
 		return fmt.Errorf("abnn2: negative RoundTimeout %v", c.RoundTimeout)
+	}
+	if c.OfflineMode < OfflineAuto || c.OfflineMode > OfflineBanked {
+		return fmt.Errorf("abnn2: invalid OfflineMode %d", int(c.OfflineMode))
+	}
+	if c.OfflineMode == OfflineBanked && c.Bank == nil {
+		return fmt.Errorf("abnn2: OfflineBanked requires Config.Bank")
 	}
 	return nil
 }
@@ -177,9 +202,12 @@ func ServeContext(ctx context.Context, conn Conn, model *QuantizedModel, cfg Con
 
 // Server is the model owner's endpoint.
 type Server struct {
-	eng *core.ServerEngine
-	sc  *sessionConn
-	tr  *trace.Tracer
+	eng  *core.ServerEngine
+	sc   *sessionConn
+	tr   *trace.Tracer
+	bank *Bank
+	mode OfflineMode
+	key  BankKey // pool key template; Batch filled per announcement
 }
 
 // NewServer performs the cryptographic setup (base OTs) for the server
@@ -205,7 +233,18 @@ func newServer(ctx context.Context, conn Conn, model *QuantizedModel, cfg Config
 		sc.release()
 		return nil, err
 	}
-	return &Server{eng: eng, sc: sc, tr: tr}, nil
+	srv := &Server{eng: eng, sc: sc, tr: tr, bank: cfg.Bank, mode: cfg.OfflineMode}
+	if cfg.Bank != nil {
+		// The server keys its claims by its own model's identity; a client
+		// announcing IDs from another model's pool is a claim miss.
+		id, err := bank.ModelID(model.qm)
+		if err != nil {
+			sc.release()
+			return nil, err
+		}
+		srv.key = BankKey{Model: id, Scheme: scheme.Name(), RingBits: cfg.ringBits(), Backend: bank.SessionBackend}
+	}
+	return srv, nil
 }
 
 // tracer builds this endpoint's span recorder; nil when tracing is off,
@@ -255,7 +294,9 @@ func (s *Server) HandleBatch() error {
 	isp.End(nil)
 	bsp := s.tr.Start("batch")
 	err = guard("handle batch", func() error {
-		if len(raw) != 5 {
+		// 5 bytes announce an inline batch; 13 bytes append a correlation
+		// ID and ask for banked provisioning (see Client.provision).
+		if len(raw) != 5 && len(raw) != 13 {
 			return fmt.Errorf("abnn2: malformed batch announcement")
 		}
 		batch := int(uint32(raw[0]) | uint32(raw[1])<<8 | uint32(raw[2])<<16 | uint32(raw[3])<<24)
@@ -267,8 +308,17 @@ func (s *Server) HandleBatch() error {
 			return fmt.Errorf("abnn2: unknown output mode %d", raw[4])
 		}
 		bsp.SetBatch(batch)
-		if err := s.eng.Offline(batch); err != nil {
-			return err
+		if len(raw) == 13 {
+			if err := s.claimCorr(batch, binary.LittleEndian.Uint64(raw[5:13])); err != nil {
+				return err
+			}
+		} else {
+			if s.mode == OfflineBanked {
+				return fmt.Errorf("abnn2: inline batch announcement refused (server is OfflineBanked)")
+			}
+			if err := s.eng.Offline(batch); err != nil {
+				return err
+			}
 		}
 		if argmax {
 			return s.eng.OnlineArgmax()
@@ -279,6 +329,30 @@ func (s *Server) HandleBatch() error {
 	return err
 }
 
+// claimCorr resolves a banked announcement: it claims the parked server
+// half for the announced correlation ID and installs it. Any failure —
+// no bank, inline-only policy, unknown/spent ID, a half from the wrong
+// pool — is a protocol error that fails the batch immediately; the
+// session never blocks waiting for material.
+func (s *Server) claimCorr(batch int, id uint64) (err error) {
+	ksp := s.tr.Start("bank").SetBatch(batch)
+	defer func() { ksp.End(err) }()
+	if s.bank == nil || s.mode == OfflineInline {
+		return fmt.Errorf("abnn2: client announced a banked batch but this server provisions inline")
+	}
+	key := s.key
+	key.Batch = batch
+	half, ok := s.bank.Claim(id, key)
+	if !ok {
+		return fmt.Errorf("abnn2: unknown or spent correlation ID for pool %v", key)
+	}
+	corr, good := half.(*core.ServerCorr)
+	if !good {
+		return fmt.Errorf("abnn2: pool %v holds %T, want a server correlation", key, half)
+	}
+	return s.eng.InstallCorr(corr)
+}
+
 // Client is the data owner's endpoint.
 type Client struct {
 	eng  *core.ClientEngine
@@ -287,6 +361,9 @@ type Client struct {
 	arch Arch
 	rg   ring.Ring
 	frac uint
+	bank *Bank
+	mode OfflineMode
+	key  BankKey // pool key template; Batch filled per request
 }
 
 // Dial performs the cryptographic setup for the client role. arch must
@@ -303,6 +380,9 @@ func Dial(conn Conn, arch Arch, cfg Config) (*Client, error) {
 func DialContext(ctx context.Context, conn Conn, arch Arch, cfg Config) (*Client, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Bank != nil && cfg.OfflineMode != OfflineInline && cfg.BankModel == "" {
+		return nil, fmt.Errorf("abnn2: Config.Bank on a client requires Config.BankModel")
 	}
 	scheme, err := quant.Parse(arch.SchemeName)
 	if err != nil {
@@ -321,7 +401,13 @@ func DialContext(ctx context.Context, conn Conn, arch Arch, cfg Config) (*Client
 		sc.release()
 		return nil, err
 	}
-	return &Client{eng: eng, sc: sc, tr: tr, arch: arch, rg: rg, frac: arch.Frac}, nil
+	cl := &Client{eng: eng, sc: sc, tr: tr, arch: arch, rg: rg, frac: arch.Frac,
+		bank: cfg.Bank, mode: cfg.OfflineMode}
+	if cfg.Bank != nil {
+		cl.key = BankKey{Model: cfg.BankModel, Scheme: arch.SchemeName,
+			RingBits: cfg.ringBits(), Backend: bank.SessionBackend}
+	}
+	return cl, nil
 }
 
 // Close releases the client endpoint: it stops the session's
@@ -365,10 +451,7 @@ func (c *Client) ClassifyPrivate(inputs [][]float64) ([]int, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := c.announce(len(inputs), 1); err != nil {
-			return nil, err
-		}
-		if err := c.eng.Offline(len(inputs)); err != nil {
+		if err := c.provision(len(inputs), 1); err != nil {
 			return nil, err
 		}
 		return c.eng.PredictArgmax(X)
@@ -386,10 +469,7 @@ func (c *Client) Infer(inputs [][]float64) (*ring.Mat, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := c.announce(len(inputs), 0); err != nil {
-			return nil, err
-		}
-		if err := c.eng.Offline(len(inputs)); err != nil {
+		if err := c.provision(len(inputs), 0); err != nil {
 			return nil, err
 		}
 		return c.eng.Predict(X)
@@ -419,5 +499,65 @@ func (c *Client) encodeBatch(inputs [][]float64) (*ring.Mat, error) {
 
 func (c *Client) announce(batch int, mode byte) error {
 	ann := []byte{byte(batch), byte(batch >> 8), byte(batch >> 16), byte(batch >> 24), mode}
+	return c.sc.Send(ann)
+}
+
+// provision readies one batch's offline material and announces the batch
+// to the server. With a bank configured it tries to draw a correlation
+// pair first: on a hit it installs the client half and announces the
+// correlation ID (13-byte announcement) so the server claims the paired
+// half; on a dry pool it falls back to the inline offline phase
+// (OfflineAuto) or fails fast (OfflineBanked) — it never waits for the
+// pool to fill.
+func (c *Client) provision(batch int, mode byte) error {
+	if c.bank != nil && c.mode != OfflineInline {
+		key := c.key
+		key.Batch = batch
+		bsp := c.tr.Start("bank").SetBatch(batch)
+		id, half, ok := c.bank.Acquire(key)
+		if ok {
+			err := c.installCorr(key, id, half)
+			bsp.End(err)
+			if err != nil {
+				return err
+			}
+			return c.announceBanked(batch, mode, id)
+		}
+		if c.mode == OfflineBanked {
+			err := fmt.Errorf("abnn2: correlation pool %v is dry (OfflineBanked forbids inline fallback)", key)
+			bsp.End(err)
+			return err
+		}
+		bsp.End(nil)
+	}
+	if err := c.announce(batch, mode); err != nil {
+		return err
+	}
+	return c.eng.Offline(batch)
+}
+
+// installCorr arms the engine with an acquired client half. On failure
+// the parked server half is discarded too (claimed and dropped), so a
+// broken pool entry cannot linger until eviction.
+func (c *Client) installCorr(key BankKey, id uint64, half any) error {
+	corr, good := half.(*core.ClientCorr)
+	if !good {
+		c.bank.Claim(id, key)
+		return fmt.Errorf("abnn2: pool %v holds %T, want a client correlation", key, half)
+	}
+	if err := c.eng.InstallCorr(corr); err != nil {
+		c.bank.Claim(id, key)
+		return err
+	}
+	return nil
+}
+
+// announceBanked is announce plus the correlation ID the server claims
+// its half with.
+func (c *Client) announceBanked(batch int, mode byte, id uint64) error {
+	ann := make([]byte, 13)
+	ann[0], ann[1], ann[2], ann[3] = byte(batch), byte(batch>>8), byte(batch>>16), byte(batch>>24)
+	ann[4] = mode
+	binary.LittleEndian.PutUint64(ann[5:], id)
 	return c.sc.Send(ann)
 }

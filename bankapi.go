@@ -1,0 +1,91 @@
+package abnn2
+
+// Correlation-bank facade: the offline precompute service in
+// internal/bank, re-exported for users of the public API. A bank
+// pre-generates each session's data-independent material (OT-extension
+// flights, per-layer matmul triplets, the client's future shares) off the
+// request path; sessions configured with Config.Bank then draw a
+// correlation pair instead of running the offline phase inline, so the
+// online phase is round-trips plus matmul only.
+//
+// The bank is an in-process trusted dealer: both endpoints of a banked
+// session must share the same *Bank instance (one process, or a load
+// harness driving its own server). See DESIGN.md, "Offline correlation
+// bank", for the security argument and the single-use guarantee.
+
+import (
+	"abnn2/internal/bank"
+)
+
+// BankSessionBackend is the BankKey.Backend under which full-session
+// correlation pools live — the pools Config.Bank sessions draw from.
+// Pools registered through RegisterBankProducer-style custom backends
+// must use a different name.
+const BankSessionBackend = bank.SessionBackend
+
+// Bank is a correlation precompute service; see NewBank.
+type Bank = bank.Bank
+
+// BankOptions sizes and instruments a Bank: pool capacity, low-watermark
+// refill trigger, generation parallelism, deterministic seeding, tracing
+// and metrics hooks.
+type BankOptions = bank.Options
+
+// BankKey identifies one correlation pool: (model, scheme, ring width,
+// batch, backend).
+type BankKey = bank.Key
+
+// BankStats is a snapshot of bank counters and pool depths.
+type BankStats = bank.Stats
+
+// NewBank returns an empty correlation bank. Register the served models
+// with RegisterBankModel, hand the bank to both endpoints via
+// Config.Bank, and optionally Prewarm the pools you expect traffic on;
+// pools touched cold warm themselves in the background.
+func NewBank(opts BankOptions) *Bank { return bank.New(opts) }
+
+// RegisterBankModel makes a model's correlation pools available and
+// returns the model ID that clients set as Config.BankModel. The ID is a
+// digest of the (public) quantized model description, so any party can
+// derive it independently; the server derives its own from the model it
+// serves.
+func RegisterBankModel(b *Bank, q *QuantizedModel) (string, error) {
+	return b.RegisterModel(q.qm)
+}
+
+// BankModelID computes the bank identity of a model without registering
+// it anywhere.
+func BankModelID(q *QuantizedModel) (string, error) {
+	return bank.ModelID(q.qm)
+}
+
+// OfflineMode selects how a session provisions its offline phase; see
+// Config.OfflineMode.
+type OfflineMode int
+
+const (
+	// OfflineAuto draws from Config.Bank when a correlation is available
+	// and falls back to inline offline generation when the pool is dry or
+	// no bank is configured. The default.
+	OfflineAuto OfflineMode = iota
+	// OfflineInline always runs the offline phase inline, ignoring any
+	// configured bank.
+	OfflineInline
+	// OfflineBanked requires the bank: a dry pool (client) or an inline
+	// announcement (server) fails the batch immediately instead of
+	// falling back. Use it to keep latency-critical serving off the
+	// offline path, and in tests that must not silently degrade.
+	OfflineBanked
+)
+
+func (m OfflineMode) String() string {
+	switch m {
+	case OfflineAuto:
+		return "auto"
+	case OfflineInline:
+		return "inline"
+	case OfflineBanked:
+		return "banked"
+	}
+	return "invalid"
+}

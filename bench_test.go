@@ -1,4 +1,7 @@
-package abnn2
+// An external test package: internal/bench drives the public facade for
+// the offline/online split table, so an in-package test file here would
+// close an import cycle.
+package abnn2_test
 
 // One testing.B benchmark per paper table plus the ablations, backed by
 // the same harness as cmd/abnn2-bench. The benchmarks run the scaled-down
@@ -70,6 +73,27 @@ func BenchmarkTable5VsQuotient(b *testing.B) {
 		if !r.Reference {
 			reportRows(b, r.CommMB)
 			break
+		}
+	}
+}
+
+// BenchmarkTableBankSplit reports both halves of the correlation-bank
+// split: the end-to-end request path (inline offline + online) and the
+// online-only path of a banked session, as separate comm metrics.
+func BenchmarkTableBankSplit(b *testing.B) {
+	var rows []bench.TableBankRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.TableBank(bench.Options{Quick: true})
+	}
+	for _, r := range rows {
+		if r.Batch != 1 {
+			continue
+		}
+		switch r.Mode {
+		case "end-to-end":
+			b.ReportMetric(r.CommMB, "e2e-MB")
+		case "online-only":
+			b.ReportMetric(r.CommMB, "online-MB")
 		}
 	}
 }

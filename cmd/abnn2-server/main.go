@@ -36,12 +36,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"abnn2"
+	"abnn2/internal/bank"
 	"abnn2/internal/metrics"
 )
 
@@ -57,6 +60,10 @@ func main() {
 	maxMsg := flag.Int("max-message", 0, "per-message size limit in bytes (0 = default 64 MiB)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address (empty = off)")
 	traceOut := flag.String("trace-out", "", "append protocol spans as JSONL to this file (empty = off)")
+	bankCap := flag.Int("bank-capacity", 0, "correlation pool capacity per batch size (0 = bank off); "+
+		"pools serve co-located clients sharing this process's bank — see DESIGN.md")
+	bankLow := flag.Int("bank-low", 0, "pool low watermark triggering background refill (0 = capacity/2)")
+	bankPrewarm := flag.String("bank-prewarm", "1", "comma-separated batch sizes to prewarm correlation pools for")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "abnn2-server")
 
@@ -108,6 +115,42 @@ func main() {
 		}()
 		defer msrv.Close()
 		logger.Info("metrics endpoint up", "addr", *metricsAddr)
+	}
+
+	// Correlation bank: precomputes the offline phase off the request
+	// path. Replenishment runs in the background; pool depth, hit/miss
+	// and refill counters land in the metrics registry, refill spans in
+	// the trace sink. Banked provisioning requires client and server to
+	// share the bank instance (an in-process trust domain), so over TCP
+	// this serves embedded/load-harness deployments; remote clients keep
+	// using the inline offline phase.
+	var corrBank *abnn2.Bank
+	if *bankCap > 0 {
+		corrBank = abnn2.NewBank(abnn2.BankOptions{
+			Capacity: *bankCap,
+			Low:      *bankLow,
+			Workers:  *workers,
+			Trace:    traceSink,
+			Observer: bank.NewMetricsObserver(registry),
+		})
+		modelID, err := abnn2.RegisterBankModel(corrBank, qm)
+		if err != nil {
+			logger.Error("register bank model", "err", err)
+			os.Exit(1)
+		}
+		batches := parseBatchList(*bankPrewarm)
+		go func() {
+			for _, b := range batches {
+				key := abnn2.BankKey{Model: modelID, Scheme: qm.Scheme(),
+					RingBits: *ringBits, Batch: b, Backend: bank.SessionBackend}
+				if err := corrBank.Prewarm(key, *bankCap); err != nil {
+					logger.Warn("bank prewarm", "batch", b, "err", err)
+					return
+				}
+				logger.Info("bank pool warm", "key", key.String(), "depth", corrBank.Depth(key))
+			}
+		}()
+		logger.Info("correlation bank up", "capacity", *bankCap, "model_id", modelID[:12])
 	}
 
 	ln, err := net.Listen("tcp", *listen)
@@ -175,6 +218,7 @@ func main() {
 			RoundTimeout:  *roundTimeout,
 			Trace:         traceSink,
 			SessionID:     session,
+			Bank:          corrBank,
 		}
 		wg.Add(1)
 		go func() {
@@ -219,4 +263,31 @@ func main() {
 		abortConns()
 		<-done
 	}
+	if corrBank != nil {
+		// In-flight pool replenishment gets the same grace the sessions
+		// had; whatever is still generating afterwards is force-cancelled
+		// (Close unblocks the generator protocol mid-round).
+		dctx, cancel := context.WithTimeout(context.Background(), *grace)
+		if err := corrBank.Drain(dctx); err != nil {
+			logger.Warn("shutdown: bank drain expired, aborting replenishment", "err", err)
+		}
+		cancel()
+		_ = corrBank.Close()
+		logger.Info("shutdown: correlation bank closed")
+	}
+}
+
+// parseBatchList parses the -bank-prewarm CSV; bad entries are skipped.
+func parseBatchList(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if n, err := strconv.Atoi(f); err == nil && n > 0 {
+			out = append(out, n)
+		}
+	}
+	return out
 }

@@ -1,0 +1,334 @@
+package bank
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"abnn2/internal/core"
+	"abnn2/internal/nn"
+	"abnn2/internal/prg"
+	"abnn2/internal/quant"
+)
+
+// testModel returns a small quantized MLP (GC junction + linear head),
+// enough to exercise every correlation component (R0, V, Z1, U).
+func testModel(t *testing.T) *nn.QuantizedModel {
+	t.Helper()
+	m := nn.NewModel(6, 5, 3)
+	m.InitXavier(prg.New(prg.SeedFromInt(7)))
+	s, err := quant.Parse("4(2,2)")
+	if err != nil {
+		t.Fatalf("parse scheme: %v", err)
+	}
+	return nn.Quantize(m, s, 6)
+}
+
+func sessionKey(t *testing.T, b *Bank, qm *nn.QuantizedModel, batch int) Key {
+	t.Helper()
+	id, err := b.RegisterModel(qm)
+	if err != nil {
+		t.Fatalf("register model: %v", err)
+	}
+	return Key{Model: id, Scheme: qm.Layers[0].Scheme.Name(), RingBits: 32, Batch: batch, Backend: SessionBackend}
+}
+
+func TestBankAcquireClaimRoundTrip(t *testing.T) {
+	b := New(Options{Capacity: 2, Seed: 11})
+	defer b.Close()
+	qm := testModel(t)
+	key := sessionKey(t, b, qm, 2)
+	if err := b.Prewarm(key, 2); err != nil {
+		t.Fatalf("prewarm: %v", err)
+	}
+	if d := b.Depth(key); d != 2 {
+		t.Fatalf("depth after prewarm = %d, want 2", d)
+	}
+	id, clientHalf, ok := b.Acquire(key)
+	if !ok {
+		t.Fatalf("acquire missed a warm pool")
+	}
+	ccorr, ok := clientHalf.(*core.ClientCorr)
+	if !ok || ccorr.Batch != 2 {
+		t.Fatalf("client half = %T batch %v, want *core.ClientCorr batch 2", clientHalf, ccorr)
+	}
+	// A claim under the wrong key must miss and leave the half parked.
+	wrong := key
+	wrong.Batch = 3
+	if _, ok := b.Claim(id, wrong); ok {
+		t.Fatalf("claim with mismatched key succeeded")
+	}
+	serverHalf, ok := b.Claim(id, key)
+	if !ok {
+		t.Fatalf("claim missed")
+	}
+	scorr, ok := serverHalf.(*core.ServerCorr)
+	if !ok || scorr.Batch != 2 {
+		t.Fatalf("server half = %T, want *core.ServerCorr batch 2", serverHalf)
+	}
+	// Single-use: the ID is spent.
+	if _, ok := b.Claim(id, key); ok {
+		t.Fatalf("second claim of the same ID succeeded")
+	}
+	// The pair really is a correlation: U + V = W * R0 for layer 0.
+	rg := core.Params{}.Ring // zero value unusable; rebuild
+	p, err := sessionParams(qm, key, 0)
+	if err != nil {
+		t.Fatalf("params: %v", err)
+	}
+	rg = p.Ring
+	w := qm.Layers[0].WMat(rg)
+	want := rg.MulMat(w, ccorr.R0)
+	got := rg.AddMat(scorr.U[0].Clone(), ccorr.V[0])
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("U+V != W*R0 at %d: %d vs %d", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestBankDistinctPairsPerDraw(t *testing.T) {
+	b := New(Options{Capacity: 2, Seed: 3})
+	defer b.Close()
+	qm := testModel(t)
+	key := sessionKey(t, b, qm, 1)
+	if err := b.Prewarm(key, 2); err != nil {
+		t.Fatalf("prewarm: %v", err)
+	}
+	_, h1, ok1 := b.Acquire(key)
+	_, h2, ok2 := b.Acquire(key)
+	if !ok1 || !ok2 {
+		t.Fatalf("acquires missed: %v %v", ok1, ok2)
+	}
+	r1 := h1.(*core.ClientCorr).R0
+	r2 := h2.(*core.ClientCorr).R0
+	same := true
+	for i := range r1.Data {
+		if r1.Data[i] != r2.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("two draws returned identical input masks (correlation reuse)")
+	}
+}
+
+func TestBankDeterministicSeeding(t *testing.T) {
+	qm := testModel(t)
+	draw := func() (*core.ClientCorr, *core.ServerCorr) {
+		b := New(Options{Capacity: 2, Seed: 99})
+		defer b.Close()
+		key := sessionKey(t, b, qm, 2)
+		if err := b.Prewarm(key, 1); err != nil {
+			t.Fatalf("prewarm: %v", err)
+		}
+		id, c, ok := b.Acquire(key)
+		if !ok {
+			t.Fatalf("acquire missed")
+		}
+		s, ok := b.Claim(id, key)
+		if !ok {
+			t.Fatalf("claim missed")
+		}
+		return c.(*core.ClientCorr), s.(*core.ServerCorr)
+	}
+	c1, s1 := draw()
+	c2, s2 := draw()
+	for i := range c1.R0.Data {
+		if c1.R0.Data[i] != c2.R0.Data[i] {
+			t.Fatalf("seeded banks disagree on R0[%d]", i)
+		}
+	}
+	for li := range s1.U {
+		for i := range s1.U[li].Data {
+			if s1.U[li].Data[i] != s2.U[li].Data[i] {
+				t.Fatalf("seeded banks disagree on U[%d][%d]", li, i)
+			}
+		}
+	}
+}
+
+func TestBankWatermarkRefill(t *testing.T) {
+	b := New(Options{Capacity: 4, Low: 2, Seed: 5})
+	defer b.Close()
+	qm := testModel(t)
+	key := sessionKey(t, b, qm, 1)
+	if err := b.Prewarm(key, 4); err != nil {
+		t.Fatalf("prewarm: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, ok := b.Acquire(key); !ok {
+			t.Fatalf("acquire %d missed", i)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for b.Depth(key) < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool not replenished to capacity, depth %d", b.Depth(key))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := b.Snapshot()
+	if st.Refills < 7 { // 4 prewarm + >=3 background
+		t.Fatalf("refills = %d, want >= 7", st.Refills)
+	}
+	if st.Hits != 3 {
+		t.Fatalf("hits = %d, want 3", st.Hits)
+	}
+}
+
+func TestBankMissPaths(t *testing.T) {
+	b := New(Options{Capacity: 2, Seed: 5})
+	defer b.Close()
+	qm := testModel(t)
+	key := sessionKey(t, b, qm, 1)
+
+	unknown := key
+	unknown.Model = "feedfacefeedface"
+	if _, _, ok := b.Acquire(unknown); ok {
+		t.Fatalf("acquire for unregistered model succeeded")
+	}
+	badScheme := key
+	badScheme.Scheme = "binary"
+	if _, _, ok := b.Acquire(badScheme); ok {
+		t.Fatalf("acquire with mismatched scheme succeeded")
+	}
+	badBatch := key
+	badBatch.Batch = -1
+	if _, _, ok := b.Acquire(badBatch); ok {
+		t.Fatalf("acquire with negative batch succeeded")
+	}
+	// Dry pool: first touch misses but warms in the background.
+	if _, _, ok := b.Acquire(key); ok {
+		t.Fatalf("acquire on a cold pool succeeded")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for b.Depth(key) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("miss did not trigger background warming")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := b.Snapshot(); st.Misses < 4 {
+		t.Fatalf("misses = %d, want >= 4", st.Misses)
+	}
+}
+
+func TestBankCustomProducerFIFO(t *testing.T) {
+	b := New(Options{Capacity: 4, Seed: 2})
+	defer b.Close()
+	key := Key{Model: "custom", Scheme: "4(2,2)", RingBits: 32, Batch: 1, Backend: "test-backend"}
+	n := 0
+	err := b.RegisterProducer(key, func(*prg.PRG) (Pair, error) {
+		p := Pair{Server: fmt.Sprintf("s%d", n), Client: fmt.Sprintf("c%d", n)}
+		n++
+		return p, nil
+	})
+	if err != nil {
+		t.Fatalf("register producer: %v", err)
+	}
+	if err := b.RegisterProducer(key, func(*prg.PRG) (Pair, error) { return Pair{}, nil }); err == nil {
+		t.Fatalf("duplicate producer registration succeeded")
+	}
+	sessionKey := key
+	sessionKey.Backend = SessionBackend
+	if err := b.RegisterProducer(sessionKey, func(*prg.PRG) (Pair, error) { return Pair{}, nil }); err == nil {
+		t.Fatalf("producer registration under the session backend succeeded")
+	}
+	if err := b.Prewarm(key, 3); err != nil {
+		t.Fatalf("prewarm: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		id, c, ok := b.Acquire(key)
+		if !ok {
+			t.Fatalf("acquire %d missed", i)
+		}
+		if want := fmt.Sprintf("c%d", i); c != want {
+			t.Fatalf("draw %d returned %v, want %v (FIFO order)", i, c, want)
+		}
+		s, ok := b.Claim(id, key)
+		if !ok || s != fmt.Sprintf("s%d", i) {
+			t.Fatalf("claim %d returned %v/%v", i, s, ok)
+		}
+	}
+}
+
+func TestBankProducerErrorSurfacesOnPrewarm(t *testing.T) {
+	b := New(Options{Capacity: 2})
+	defer b.Close()
+	key := Key{Model: "x", Backend: "flaky"}
+	if err := b.RegisterProducer(key, func(*prg.PRG) (Pair, error) {
+		return Pair{}, fmt.Errorf("boom")
+	}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := b.Prewarm(key, 1); err == nil {
+		t.Fatalf("prewarm swallowed a producer error")
+	}
+}
+
+func TestBankDrainAndClose(t *testing.T) {
+	b := New(Options{Capacity: 8, Low: 8, Seed: 4})
+	qm := testModel(t)
+	key := sessionKey(t, b, qm, 2)
+	if err := b.Prewarm(key, 1); err != nil {
+		t.Fatalf("prewarm: %v", err)
+	}
+	// Pop the only entry: depth 0 < low triggers a background refill of
+	// up to 7 more pairs, which Close must be able to interrupt.
+	if _, _, ok := b.Acquire(key); !ok {
+		t.Fatalf("acquire missed")
+	}
+	done := make(chan struct{})
+	go func() {
+		_ = b.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("Close hung with a replenishment in flight")
+	}
+	if _, _, ok := b.Acquire(key); ok {
+		t.Fatalf("acquire succeeded after Close")
+	}
+	if err := b.Prewarm(key, 1); err == nil {
+		t.Fatalf("prewarm succeeded after Close")
+	}
+	if _, err := b.RegisterModel(qm); err == nil {
+		t.Fatalf("register succeeded after Close")
+	}
+	// Close is idempotent.
+	if err := b.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestBankDrainWaitsForRefill(t *testing.T) {
+	b := New(Options{Capacity: 2, Low: 2, Seed: 6})
+	defer b.Close()
+	qm := testModel(t)
+	key := sessionKey(t, b, qm, 1)
+	if err := b.Prewarm(key, 1); err != nil {
+		t.Fatalf("prewarm: %v", err)
+	}
+	if _, _, ok := b.Acquire(key); !ok {
+		t.Fatalf("acquire missed")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := b.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// After a drain no new refills start: depth stays wherever it landed.
+	d := b.Depth(key)
+	if _, _, ok := b.Acquire(key); ok != (d > 0) {
+		t.Fatalf("post-drain acquire ok=%v with depth %d", ok, d)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if after := b.Depth(key); after > d {
+		t.Fatalf("pool refilled after Drain: %d -> %d", d, after)
+	}
+}

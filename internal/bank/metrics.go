@@ -1,0 +1,61 @@
+package bank
+
+import "abnn2/internal/metrics"
+
+// NewMetricsObserver bridges bank events into a metrics registry:
+//
+//	abnn2_bank_pool_depth{key}      gauge   current pool depth
+//	abnn2_bank_hits_total{key}      counter pool draws served
+//	abnn2_bank_misses_total{key}    counter dry/unknown-pool draws
+//	abnn2_bank_refills_total{key}   counter pairs generated
+//	abnn2_bank_refill_errors_total{key}
+//	abnn2_bank_claims_total{key}    counter server halves claimed
+//	abnn2_bank_claim_misses_total{key}
+//	abnn2_bank_claim_evictions_total{key}
+//
+// Register once per registry and pass as Options.Observer.
+func NewMetricsObserver(r *metrics.Registry) Observer {
+	return &metricsObserver{
+		depth:       r.NewGaugeVec("abnn2_bank_pool_depth", "Correlation pool depth.", "key"),
+		hits:        r.NewCounterVec("abnn2_bank_hits_total", "Correlation pool draws served.", "key"),
+		misses:      r.NewCounterVec("abnn2_bank_misses_total", "Correlation pool draws that found no pair.", "key"),
+		refills:     r.NewCounterVec("abnn2_bank_refills_total", "Correlation pairs generated.", "key"),
+		refillErrs:  r.NewCounterVec("abnn2_bank_refill_errors_total", "Failed correlation generations.", "key"),
+		claims:      r.NewCounterVec("abnn2_bank_claims_total", "Server halves claimed by sessions.", "key"),
+		claimMisses: r.NewCounterVec("abnn2_bank_claim_misses_total", "Claims for unknown or spent correlation IDs.", "key"),
+		evictions:   r.NewCounterVec("abnn2_bank_claim_evictions_total", "Parked server halves evicted unclaimed.", "key"),
+	}
+}
+
+type metricsObserver struct {
+	depth       *metrics.GaugeVec
+	hits        *metrics.CounterVec
+	misses      *metrics.CounterVec
+	refills     *metrics.CounterVec
+	refillErrs  *metrics.CounterVec
+	claims      *metrics.CounterVec
+	claimMisses *metrics.CounterVec
+	evictions   *metrics.CounterVec
+}
+
+func (m *metricsObserver) BankEvent(ev Event) {
+	k := ev.Key.String()
+	switch ev.Kind {
+	case "hit":
+		m.hits.With(k).Inc()
+		m.depth.With(k).Set(int64(ev.Depth))
+	case "miss":
+		m.misses.With(k).Inc()
+	case "refill":
+		m.refills.With(k).Inc()
+		m.depth.With(k).Set(int64(ev.Depth))
+	case "refill-error":
+		m.refillErrs.With(k).Inc()
+	case "claim":
+		m.claims.With(k).Inc()
+	case "claim-miss":
+		m.claimMisses.With(k).Inc()
+	case "evict":
+		m.evictions.With(k).Inc()
+	}
+}

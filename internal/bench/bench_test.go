@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"encoding/json"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
@@ -237,3 +239,77 @@ func TestTableFormatting(t *testing.T) {
 }
 
 func itoa(v int) string { return strconv.Itoa(v) }
+
+// TestTableBankSplit is the acceptance check behind the correlation
+// bank: for every batch size, the online-only row (banked provisioning)
+// must land strictly below the end-to-end row (inline offline phase) in
+// both wall time and wire traffic.
+func TestTableBankSplit(t *testing.T) {
+	rows := TableBank(quickOpts())
+	if len(rows) == 0 || len(rows)%2 != 0 {
+		t.Fatalf("got %d rows, want a non-empty even number", len(rows))
+	}
+	for i := 0; i+1 < len(rows); i += 2 {
+		e2e, online := rows[i], rows[i+1]
+		if e2e.Mode != "end-to-end" || online.Mode != "online-only" || e2e.Batch != online.Batch {
+			t.Fatalf("row pairing broken: %+v / %+v", e2e, online)
+		}
+		if online.CommMB >= e2e.CommMB {
+			t.Errorf("batch %d: online-only comm %.3f MB not below end-to-end %.3f MB",
+				e2e.Batch, online.CommMB, e2e.CommMB)
+		}
+		if online.WallSec >= e2e.WallSec {
+			t.Errorf("batch %d: online-only wall %.4fs not below end-to-end %.4fs",
+				e2e.Batch, online.WallSec, e2e.WallSec)
+		}
+	}
+}
+
+// TestBankBaselineFile keeps the checked-in BENCH_baseline.json honest:
+// it must parse, hold bank-split rows, and every recorded online-only
+// row must beat its end-to-end sibling — the property the baseline
+// exists to document. Regenerate with:
+//
+//	go run ./cmd/abnn2-bench -bank -baseline-out BENCH_baseline.json
+func TestBankBaselineFile(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_baseline.json")
+	if err != nil {
+		t.Fatalf("read baseline: %v", err)
+	}
+	var doc struct {
+		Table string         `json:"table"`
+		Rows  []TableBankRow `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("parse baseline: %v", err)
+	}
+	if doc.Table != "bank-split" {
+		t.Fatalf("baseline table %q, want bank-split", doc.Table)
+	}
+	e2e := map[int]TableBankRow{}
+	online := map[int]TableBankRow{}
+	for _, r := range doc.Rows {
+		switch r.Mode {
+		case "end-to-end":
+			e2e[r.Batch] = r
+		case "online-only":
+			online[r.Batch] = r
+		default:
+			t.Errorf("unknown mode %q", r.Mode)
+		}
+	}
+	if len(e2e) == 0 || len(e2e) != len(online) {
+		t.Fatalf("baseline holds %d end-to-end and %d online-only rows", len(e2e), len(online))
+	}
+	for batch, e := range e2e {
+		o, ok := online[batch]
+		if !ok {
+			t.Errorf("batch %d has no online-only row", batch)
+			continue
+		}
+		if o.CommMB >= e.CommMB || o.WallSec >= e.WallSec {
+			t.Errorf("batch %d: recorded online-only (%.4fs, %.3f MB) not below end-to-end (%.4fs, %.3f MB)",
+				batch, o.WallSec, o.CommMB, e.WallSec, e.CommMB)
+		}
+	}
+}

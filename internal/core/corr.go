@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"abnn2/internal/nn"
+	"abnn2/internal/par"
+	"abnn2/internal/prg"
+	"abnn2/internal/ring"
+)
+
+// Correlation state: the product of the data-independent offline phase,
+// reified as a value so it can be generated away from the session that
+// consumes it (see internal/bank). A correlation pair is bound to one
+// (model, ring, scheme, batch) tuple and to a single online batch — the
+// online phase consumes its matrices in place, so installing the same
+// half twice is a correlation-reuse bug, not a supported operation.
+
+// ServerCorr is the server's half of one batch's offline output: the U
+// triplet share of every linear layer, U + V = W * R.
+type ServerCorr struct {
+	Batch int
+	U     []*ring.Mat // per linear layer, l.Out x batch*l.Cols()
+}
+
+// ClientCorr is the client's half: the input mask, the V triplet shares,
+// and the client's pre-chosen next-layer shares for every GC junction.
+type ClientCorr struct {
+	Batch int
+	R0    *ring.Mat   // input mask, InputSize x batch
+	V     []*ring.Mat // per linear layer, l.Out x batch*l.cols()
+	Z1    []*ring.Mat // per layer; non-nil exactly for ReLU/pool layers
+}
+
+// OfflineCorr runs the server side of the offline phase for one batch and
+// returns the resulting correlation half without installing it anywhere.
+// It is the interactive part of ServerEngine.Offline, split out so a
+// precompute service can run it against the matching client generator
+// ahead of any session.
+func (s *ServerTriplets) OfflineCorr(model *nn.QuantizedModel, batch int) (*ServerCorr, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("core: batch must be positive")
+	}
+	corr := &ServerCorr{Batch: batch, U: make([]*ring.Mat, 0, len(model.Layers))}
+	for li, l := range model.Layers {
+		// Convolutions multiply the same weights across every output
+		// position, so their OT columns include the spatial positions —
+		// exactly the paper's multi-batch reuse, applied to space instead
+		// of (only) batch.
+		sh := MatShape{M: l.Out, N: l.ColRows(), O: batch * l.Cols()}
+		lsp := s.params.Trace.Start("triplets").SetLayer(li).SetWorkers(par.Workers(s.params.Workers))
+		u, err := s.GenerateServer(sh, l.W, ModeFor(sh.O))
+		lsp.End(err)
+		if err != nil {
+			return nil, fmt.Errorf("core: server offline layer %d: %w", li, err)
+		}
+		corr.U = append(corr.U, u)
+	}
+	return corr, nil
+}
+
+// OfflineCorr runs the client side of the offline phase: it samples the
+// input mask and every future activation share from shareRNG (the triplet
+// masking randomness comes from the generator's own stream), then
+// generates the matching triplets layer by layer.
+func (c *ClientTriplets) OfflineCorr(arch Arch, shareRNG *prg.PRG, batch int) (*ClientCorr, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("core: batch must be positive")
+	}
+	rg := c.params.Ring
+	corr := &ClientCorr{
+		Batch: batch,
+		R0:    shareRNG.Mat(rg, arch.InputSize(), batch),
+		V:     make([]*ring.Mat, 0, len(arch.Layers)),
+		Z1:    make([]*ring.Mat, len(arch.Layers)),
+	}
+	r := corr.R0
+	for li, l := range arch.Layers {
+		sh := MatShape{M: l.Out, N: l.colRows(), O: batch * l.cols()}
+		lsp := c.params.Trace.Start("triplets").SetLayer(li).SetWorkers(par.Workers(c.params.Workers))
+		v, err := c.GenerateClient(sh, shareCols(l, r), ModeFor(sh.O))
+		lsp.End(err)
+		if err != nil {
+			return nil, fmt.Errorf("core: client offline layer %d: %w", li, err)
+		}
+		corr.V = append(corr.V, v)
+		switch {
+		case l.ReLU || l.Pool != nil:
+			// The GC reshare lets the client fix its next-layer share now.
+			corr.Z1[li] = shareRNG.Mat(rg, l.outputSize(), batch)
+			r = corr.Z1[li]
+		case li+1 < len(arch.Layers):
+			// Purely linear junction: the client's share of this layer's
+			// output is its (requantized) triplet share, already known.
+			next := foldBatch(v.Clone(), batch)
+			if l.ReqC != 0 {
+				RequantVec1(rg, next.Data, l.ReqC, l.ReqT)
+			}
+			r = next
+		}
+	}
+	return corr, nil
+}
+
+// InstallCorr arms the engine with a precomputed correlation half, in
+// place of running Offline inline. The half must have been generated
+// against this exact model, ring, and scheme by the paired client
+// generator; shapes are fully validated (a half from the wrong pool is an
+// error, never a panic deeper in the online phase). The corr is consumed:
+// the online phase mutates its matrices, so each half installs at most
+// once.
+func (e *ServerEngine) InstallCorr(c *ServerCorr) error {
+	if c == nil || c.Batch <= 0 {
+		return fmt.Errorf("core: install server corr: missing or empty correlation")
+	}
+	if len(c.U) != len(e.model.Layers) {
+		return fmt.Errorf("core: install server corr: %d layers, model has %d", len(c.U), len(e.model.Layers))
+	}
+	for li, l := range e.model.Layers {
+		u := c.U[li]
+		if u == nil || u.Rows != l.Out || u.Cols != c.Batch*l.Cols() {
+			return fmt.Errorf("core: install server corr: layer %d share malformed", li)
+		}
+	}
+	e.u = c.U
+	e.batch = c.Batch
+	return nil
+}
+
+// InstallCorr is the client-side counterpart of the server's InstallCorr;
+// the same single-use contract applies.
+func (e *ClientEngine) InstallCorr(c *ClientCorr) error {
+	if c == nil || c.Batch <= 0 {
+		return fmt.Errorf("core: install client corr: missing or empty correlation")
+	}
+	if len(c.V) != len(e.arch.Layers) || len(c.Z1) != len(e.arch.Layers) {
+		return fmt.Errorf("core: install client corr: %d/%d layers, arch has %d",
+			len(c.V), len(c.Z1), len(e.arch.Layers))
+	}
+	if c.R0 == nil || c.R0.Rows != e.arch.InputSize() || c.R0.Cols != c.Batch {
+		return fmt.Errorf("core: install client corr: input mask malformed")
+	}
+	for li, l := range e.arch.Layers {
+		v := c.V[li]
+		if v == nil || v.Rows != l.Out || v.Cols != c.Batch*l.cols() {
+			return fmt.Errorf("core: install client corr: layer %d triplet share malformed", li)
+		}
+		gc := l.ReLU || l.Pool != nil
+		z := c.Z1[li]
+		if gc && (z == nil || z.Rows != l.outputSize() || z.Cols != c.Batch) {
+			return fmt.Errorf("core: install client corr: layer %d activation share malformed", li)
+		}
+		if !gc && z != nil {
+			return fmt.Errorf("core: install client corr: layer %d has a share but no GC junction", li)
+		}
+	}
+	e.r0 = c.R0
+	e.v = c.V
+	e.z1 = c.Z1
+	e.batch = c.Batch
+	return nil
+}

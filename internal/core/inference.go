@@ -276,72 +276,36 @@ func NewClientEngine(conn Conn, arch Arch, p Params, variant ReLUVariant, rng *p
 
 // Offline runs the server's data-independent phase for one batch of the
 // given size. It may be called again after Online to provision the next
-// batch.
+// batch. Sessions drawing from a precompute bank skip it and InstallCorr
+// a pre-generated half instead.
 func (e *ServerEngine) Offline(batch int) (err error) {
 	if batch <= 0 {
 		return fmt.Errorf("core: batch must be positive")
 	}
 	sp := e.params.Trace.Start("offline").SetBatch(batch)
 	defer func() { sp.End(err) }()
-	e.u = e.u[:0]
-	for li, l := range e.model.Layers {
-		// Convolutions multiply the same weights across every output
-		// position, so their OT columns include the spatial positions —
-		// exactly the paper's multi-batch reuse, applied to space instead
-		// of (only) batch.
-		sh := MatShape{M: l.Out, N: l.ColRows(), O: batch * l.Cols()}
-		lsp := e.params.Trace.Start("triplets").SetLayer(li).SetWorkers(par.Workers(e.params.Workers))
-		u, err := e.trip.GenerateServer(sh, l.W, ModeFor(sh.O))
-		lsp.End(err)
-		if err != nil {
-			return fmt.Errorf("core: server offline layer %d: %w", li, err)
-		}
-		e.u = append(e.u, u)
+	corr, err := e.trip.OfflineCorr(e.model, batch)
+	if err != nil {
+		return err
 	}
-	e.batch = batch
-	return nil
+	return e.InstallCorr(corr)
 }
 
 // Offline runs the client's data-independent phase: it samples the input
 // mask and every future activation share, then generates the matching
-// triplets layer by layer.
+// triplets layer by layer. Sessions drawing from a precompute bank skip
+// it and InstallCorr a pre-generated half instead.
 func (e *ClientEngine) Offline(batch int) (err error) {
 	if batch <= 0 {
 		return fmt.Errorf("core: batch must be positive")
 	}
 	sp := e.params.Trace.Start("offline").SetBatch(batch)
 	defer func() { sp.End(err) }()
-	rg := e.params.Ring
-	e.r0 = e.rng.Mat(rg, e.arch.InputSize(), batch)
-	e.z1 = make([]*ring.Mat, len(e.arch.Layers))
-	e.v = e.v[:0]
-	r := e.r0
-	for li, l := range e.arch.Layers {
-		sh := MatShape{M: l.Out, N: l.colRows(), O: batch * l.cols()}
-		lsp := e.params.Trace.Start("triplets").SetLayer(li).SetWorkers(par.Workers(e.params.Workers))
-		v, err := e.trip.GenerateClient(sh, shareCols(l, r), ModeFor(sh.O))
-		lsp.End(err)
-		if err != nil {
-			return fmt.Errorf("core: client offline layer %d: %w", li, err)
-		}
-		e.v = append(e.v, v)
-		switch {
-		case l.ReLU || l.Pool != nil:
-			// The GC reshare lets the client fix its next-layer share now.
-			e.z1[li] = e.rng.Mat(rg, l.outputSize(), batch)
-			r = e.z1[li]
-		case li+1 < len(e.arch.Layers):
-			// Purely linear junction: the client's share of this layer's
-			// output is its (requantized) triplet share, already known.
-			next := foldBatch(v.Clone(), batch)
-			if l.ReqC != 0 {
-				RequantVec1(rg, next.Data, l.ReqC, l.ReqT)
-			}
-			r = next
-		}
+	corr, err := e.trip.OfflineCorr(e.arch, e.rng, batch)
+	if err != nil {
+		return err
 	}
-	e.batch = batch
-	return nil
+	return e.InstallCorr(corr)
 }
 
 // Online runs one inference batch on the server side, consuming the

@@ -34,6 +34,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			for i, v := range vals {
 				pf("%s{%s=%s} %d\n", m.name, it.label, strconv.Quote(v), cs[i].Value())
 			}
+		case *GaugeVec:
+			pf("# HELP %s %s\n# TYPE %s gauge\n", m.name, m.help, m.name)
+			vals, gs := it.children()
+			for i, v := range vals {
+				pf("%s{%s=%s} %d\n", m.name, it.label, strconv.Quote(v), gs[i].Value())
+			}
 		case *Histogram:
 			pf("# HELP %s %s\n# TYPE %s histogram\n", m.name, m.help, m.name)
 			bounds, cum, sum, count := it.snapshot()
@@ -73,6 +79,13 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			vals, cs := it.children()
 			for i, v := range vals {
 				kids[v] = cs[i].Value()
+			}
+			doc[m.name] = kids
+		case *GaugeVec:
+			kids := make(map[string]int64)
+			vals, gs := it.children()
+			for i, v := range vals {
+				kids[v] = gs[i].Value()
 			}
 			doc[m.name] = kids
 		case *Histogram:

@@ -152,11 +152,47 @@ func (v *CounterVec) children() ([]string, []*Counter) {
 	return vals, cs
 }
 
+// GaugeVec is a family of gauges distinguished by one label (e.g. pool
+// depth per correlation key).
+type GaugeVec struct {
+	label string
+	mu    sync.Mutex
+	kids  map[string]*Gauge
+	order []string
+}
+
+// With returns the child gauge for the given label value, creating it on
+// first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.kids[value]
+	if !ok {
+		g = &Gauge{}
+		v.kids[value] = g
+		v.order = append(v.order, value)
+	}
+	return g
+}
+
+// children returns (label values, gauges) in first-use order.
+func (v *GaugeVec) children() ([]string, []*Gauge) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	vals := make([]string, len(v.order))
+	copy(vals, v.order)
+	gs := make([]*Gauge, len(vals))
+	for i, val := range vals {
+		gs[i] = v.kids[val]
+	}
+	return vals, gs
+}
+
 // metric couples a registered metric with its metadata.
 type metric struct {
 	name string
 	help string
-	item any // *Counter | *Gauge | *Histogram | *CounterVec
+	item any // *Counter | *Gauge | *Histogram | *CounterVec | *GaugeVec
 }
 
 // Registry holds named metrics and renders them for export. The zero
@@ -220,6 +256,13 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram 
 // NewCounterVec registers and returns a single-label counter family.
 func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
 	v := &CounterVec{label: label, kids: make(map[string]*Counter)}
+	r.register(name, help, v)
+	return v
+}
+
+// NewGaugeVec registers and returns a single-label gauge family.
+func (r *Registry) NewGaugeVec(name, help, label string) *GaugeVec {
+	v := &GaugeVec{label: label, kids: make(map[string]*Gauge)}
 	r.register(name, help, v)
 	return v
 }

@@ -15,6 +15,16 @@ import (
 // the way in, so serialisation is part of what the sweep certifies.
 // workers applies to both parties (0 = one per CPU).
 func RunSecure(c *Case, workers int) (*ring.Mat, error) {
+	return RunSecureCfg(c, workers, nil)
+}
+
+// RunSecureCfg is RunSecure with a per-party configuration hook: when
+// mutate is non-nil it runs once per endpoint, after the base fields
+// (ring, seed, workers) are set, with server reporting which side the
+// config belongs to. The bank equivalence suite uses it to point both
+// parties at a shared correlation bank; anything Config can express
+// (ReLU variant, tracing, offline mode) composes the same way.
+func RunSecureCfg(c *Case, workers int, mutate func(server bool, cfg *abnn2.Config)) (*ring.Mat, error) {
 	data, err := nn.MarshalQuantized(c.Model)
 	if err != nil {
 		return nil, fmt.Errorf("marshal model: %w", err)
@@ -29,6 +39,10 @@ func RunSecure(c *Case, workers int) (*ring.Mat, error) {
 	// from one number.
 	scfg := abnn2.Config{RingBits: c.RingBits, Seed: 2*c.Seed + 1, Workers: workers}
 	ccfg := abnn2.Config{RingBits: c.RingBits, Seed: 2*c.Seed + 2, Workers: workers}
+	if mutate != nil {
+		mutate(true, &scfg)
+		mutate(false, &ccfg)
+	}
 	srvErr := make(chan error, 1)
 	go func() {
 		_, err := abnn2.Serve(serverConn, qm, scfg)

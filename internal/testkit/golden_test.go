@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"abnn2"
+	"abnn2/internal/bank"
 	"abnn2/internal/baseot"
 	"abnn2/internal/core"
 	"abnn2/internal/gc"
@@ -272,8 +273,11 @@ func TestGoldenReLUOptimized(t *testing.T) { goldenReLU(t, "relu-optimized", cor
 
 // sessionTranscripts runs a full facade session (setup + one batch) for
 // a generated case with both parties seeded, at the given worker count
-// and inputs, and returns the two per-party transcripts.
-func sessionTranscripts(t *testing.T, c *Case, workers int, inputs [][]float64) (server, client *Transcript) {
+// and inputs, and returns the two per-party transcripts. A non-nil
+// mutate hook edits each party's Config before the run (the banked
+// golden uses it to attach a correlation bank and trace collectors).
+func sessionTranscripts(t *testing.T, c *Case, workers int, inputs [][]float64,
+	mutate func(server bool, cfg *abnn2.Config)) (server, client *Transcript) {
 	t.Helper()
 	data, err := nn.MarshalQuantized(c.Model)
 	if err != nil {
@@ -286,6 +290,10 @@ func sessionTranscripts(t *testing.T, c *Case, workers int, inputs [][]float64) 
 	sConn, cConn := pairConns()
 	scfg := abnn2.Config{RingBits: c.RingBits, Seed: 2*c.Seed + 1, Workers: workers}
 	ccfg := abnn2.Config{RingBits: c.RingBits, Seed: 2*c.Seed + 2, Workers: workers}
+	if mutate != nil {
+		mutate(true, &scfg)
+		mutate(false, &ccfg)
+	}
 	srvErr := make(chan error, 1)
 	go func() {
 		_, err := abnn2.Serve(sConn, qm, scfg)
@@ -318,7 +326,7 @@ func sessionTranscripts(t *testing.T, c *Case, workers int, inputs [][]float64) 
 //     secrets under fixed randomness.)
 func TestGoldenSession(t *testing.T) {
 	c := Generate(3) // fixed case: ring 33, unsigned 4-bit, batch 3 (multi-batch FC)
-	srv1, cli1 := sessionTranscripts(t, c, 1, c.Inputs)
+	srv1, cli1 := sessionTranscripts(t, c, 1, c.Inputs, nil)
 	parties := []PartyTranscript{
 		{Party: "server", T: srv1},
 		{Party: "client", T: cli1},
@@ -327,7 +335,7 @@ func TestGoldenSession(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv8, cli8 := sessionTranscripts(t, c, 8, c.Inputs)
+	srv8, cli8 := sessionTranscripts(t, c, 8, c.Inputs, nil)
 	if d := srv1.Diff(srv8); d != "" {
 		t.Errorf("server transcript differs between Workers=1 and Workers=8: %s", d)
 	}
@@ -343,11 +351,134 @@ func TestGoldenSession(t *testing.T) {
 		}
 		other[k] = o
 	}
-	srvO, cliO := sessionTranscripts(t, c, 1, other)
+	srvO, cliO := sessionTranscripts(t, c, 1, other, nil)
 	if !EqualShapes(srv1, srvO) {
 		t.Error("server flight shapes depend on the client's secret inputs")
 	}
 	if !EqualShapes(cli1, cliO) {
 		t.Error("client flight shapes depend on the client's secret inputs")
+	}
+}
+
+// onlySpan returns the unique span named name, failing the test if the
+// dump holds zero or several of them.
+func onlySpan(t *testing.T, who string, spans []abnn2.TraceSpan, name string) abnn2.TraceSpan {
+	t.Helper()
+	var found []abnn2.TraceSpan
+	for _, s := range spans {
+		if s.Name == name {
+			found = append(found, s)
+		}
+	}
+	if len(found) != 1 {
+		t.Fatalf("%s: %d %q spans, want exactly 1", who, len(found), name)
+	}
+	return found[0]
+}
+
+// sumSpanBytes totals the wire traffic of every span named name.
+func sumSpanBytes(spans []abnn2.TraceSpan, name string) int64 {
+	var total int64
+	for _, s := range spans {
+		if s.Name == name {
+			total += s.Bytes()
+		}
+	}
+	return total
+}
+
+// TestGoldenSessionBanked pins the wire transcript of the fixed seed-3
+// case served from a correlation bank, and proves the offline/online
+// claim behind the bank through per-party trace spans: the banked
+// session's "online" phase moves exactly the same bytes, messages and
+// flights as the inline session's, while the inline "offline" wire
+// traffic vanishes — drawing and claiming a correlation costs zero wire
+// bytes (the 13-byte announcement is the whole provisioning flight).
+func TestGoldenSessionBanked(t *testing.T) {
+	c := Generate(3) // fixed case: ring 33, unsigned 4-bit, batch 3 (multi-batch FC)
+
+	inlineSrvTr, inlineCliTr := abnn2.NewTraceCollector(), abnn2.NewTraceCollector()
+	inlineSrv, inlineCli := sessionTranscripts(t, c, 1, c.Inputs, func(server bool, cfg *abnn2.Config) {
+		if server {
+			cfg.Trace = inlineSrvTr
+		} else {
+			cfg.Trace = inlineCliTr
+		}
+	})
+
+	// Bank keyed by the wire round-trip of the model, like the server's
+	// own derivation.
+	data, err := nn.MarshalQuantized(c.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := nn.UnmarshalQuantized(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bank.New(bank.Options{Capacity: 1, Seed: 0xBA2})
+	defer b.Close()
+	id, err := b.RegisterModel(qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := bank.Key{Model: id, Scheme: c.Scheme, RingBits: c.RingBits,
+		Batch: c.Batch, Backend: bank.SessionBackend}
+	if err := b.Prewarm(key, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	bankSrvTr, bankCliTr := abnn2.NewTraceCollector(), abnn2.NewTraceCollector()
+	srv, cli := sessionTranscripts(t, c, 1, c.Inputs, func(server bool, cfg *abnn2.Config) {
+		cfg.Bank = b
+		cfg.OfflineMode = abnn2.OfflineBanked
+		if server {
+			cfg.Trace = bankSrvTr
+		} else {
+			cfg.Trace = bankCliTr
+			cfg.BankModel = id
+		}
+	})
+	parties := []PartyTranscript{
+		{Party: "server", T: srv},
+		{Party: "client", T: cli},
+	}
+	if err := CompareGolden("session-banked-seed3", "banked session workers=1 "+c.Desc(), parties, *update); err != nil {
+		t.Fatal(err)
+	}
+
+	// The bank must shrink the session: all offline flights are gone.
+	if srv.Bytes() >= inlineSrv.Bytes() || cli.Bytes() >= inlineCli.Bytes() {
+		t.Errorf("banked session not smaller: server %d vs %d bytes, client %d vs %d",
+			srv.Bytes(), inlineSrv.Bytes(), cli.Bytes(), inlineCli.Bytes())
+	}
+
+	for _, p := range []struct {
+		name           string
+		inline, banked []abnn2.TraceSpan
+	}{
+		{"server", inlineSrvTr.Spans(), bankSrvTr.Spans()},
+		{"client", inlineCliTr.Spans(), bankCliTr.Spans()},
+	} {
+		on := onlySpan(t, p.name+" inline", p.inline, "online")
+		onB := onlySpan(t, p.name+" banked", p.banked, "online")
+		if on.BytesSent != onB.BytesSent || on.BytesRecvd != onB.BytesRecvd ||
+			on.Messages != onB.Messages || on.Flights != onB.Flights {
+			t.Errorf("%s online phase changed under the bank: "+
+				"inline sent=%d recvd=%d msgs=%d flights=%d, banked sent=%d recvd=%d msgs=%d flights=%d",
+				p.name, on.BytesSent, on.BytesRecvd, on.Messages, on.Flights,
+				onB.BytesSent, onB.BytesRecvd, onB.Messages, onB.Flights)
+		}
+		if got := sumSpanBytes(p.inline, "offline"); got == 0 {
+			t.Errorf("%s: inline session recorded no offline wire traffic", p.name)
+		}
+		if got := sumSpanBytes(p.banked, "offline"); got != 0 {
+			t.Errorf("%s: banked session ran an inline offline phase (%d wire bytes)", p.name, got)
+		}
+		bankSpan := onlySpan(t, p.name+" banked", p.banked, "bank")
+		if bankSpan.Bytes() != 0 {
+			t.Errorf("%s: drawing/claiming a correlation moved %d wire bytes, want 0",
+				p.name, bankSpan.Bytes())
+		}
 	}
 }

@@ -23,8 +23,9 @@ type Stats = transport.Stats
 type Meter = transport.Meter
 
 // TraceSpan is one completed protocol phase: its name ("setup",
-// "offline", "triplets", "batch", "online", "input", "matmul", "relu",
-// "pool", "argmax", "output", "idle"), nesting (root spans partition a
+// "offline", "triplets", "bank", "bank-refill", "batch", "online",
+// "input", "matmul", "relu", "pool", "argmax", "output", "idle"),
+// nesting (root spans partition a
 // session's traffic), layer/batch attribution, wall time, and the
 // bytes, messages, and flights it moved.
 type TraceSpan = trace.Span
