@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench tables ablations accuracy bank conformance fuzz corpus chaos clean
+.PHONY: all build test vet race bench tables ablations accuracy bank conformance fuzz corpus chaos loadtest clean
 
 all: build test
 
@@ -48,8 +48,16 @@ bank:
 # boundary, cancellation, and goroutine-leak checks.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestRoundTimeout' -v .
+	$(GO) test -race -count=1 -run 'TestChaos' -v ./internal/serve
 	$(GO) test -race -count=1 -run 'DisconnectAtEveryMessage|TestOfflineSurvivesPeerDisappearing' ./internal/core
 	$(GO) test -race -count=1 ./internal/transport
+
+# Serving-runtime smoke under load: boot a race-enabled server, wait for
+# /readyz, hammer it with abnn2-load (which exits non-zero on failures or
+# on any retryable rejection missing its retry-after hint), and check the
+# shed accounting on /metrics.
+loadtest:
+	GO="$(GO)" scripts/loadtest.sh
 
 # Conformance tier: the full 200-model differential sweep (secure
 # inference vs plaintext QNN, exact equality) plus golden wire

@@ -524,7 +524,7 @@ func (c *Client) provision(batch int, mode byte) error {
 			return c.announceBanked(batch, mode, id)
 		}
 		if c.mode == OfflineBanked {
-			err := fmt.Errorf("abnn2: correlation pool %v is dry (OfflineBanked forbids inline fallback)", key)
+			err := fmt.Errorf("%w: pool %v (OfflineBanked forbids inline fallback)", ErrBankDry, key)
 			bsp.End(err)
 			return err
 		}

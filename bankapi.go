@@ -14,8 +14,17 @@ package abnn2
 // bank", for the security argument and the single-use guarantee.
 
 import (
+	"errors"
+
 	"abnn2/internal/bank"
 )
+
+// ErrBankDry reports that a session required banked provisioning
+// (OfflineBanked) and found its correlation pool empty. It is a
+// retryable condition — the miss itself triggers background
+// replenishment, so a caller that backs off briefly and retries the
+// batch will usually find the pool warm. Test with errors.Is.
+var ErrBankDry = errors.New("abnn2: correlation pool dry")
 
 // BankSessionBackend is the BankKey.Backend under which full-session
 // correlation pools live — the pools Config.Bank sessions draw from.

@@ -2,6 +2,7 @@ package abnn2
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"strings"
 	"sync"
@@ -254,4 +255,101 @@ func TestChaosBankConcurrentDrain(t *testing.T) {
 		}
 	}
 	settleGoroutines(t, base, "concurrent drain")
+}
+
+// TestChaosBankDryConcurrent: N parallel strict-banked sessions race a
+// capacity-1 pool. Each session must either complete correctly (it won
+// the draw, or a miss-triggered refill landed in time) or fail with the
+// typed ErrBankDry — never hang, never leak. The same race under
+// OfflineAuto must complete every session via inline fallback.
+func TestChaosBankDryConcurrent(t *testing.T) {
+	qm := chaosModel(t)
+	time.Sleep(20 * time.Millisecond)
+	base := runtime.NumGoroutine()
+
+	const sessions = 4
+
+	t.Run("banked-typed-error-or-success", func(t *testing.T) {
+		b, id, keyFor := chaosBank(t, qm, BankOptions{Capacity: 1})
+		defer b.Close()
+		if err := b.Prewarm(keyFor(2), 1); err != nil {
+			t.Fatalf("prewarm: %v", err)
+		}
+		var wg sync.WaitGroup
+		cliErrs := make([]error, sessions)
+		classes := make([][]int, sessions)
+		for i := 0; i < sessions; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sconn, cconn := Pipe()
+				scfg := Config{RingBits: 32, RoundTimeout: chaosRoundTimeout,
+					Bank: b, OfflineMode: OfflineBanked}
+				ccfg := Config{RingBits: 32, Seed: 300 + uint64(i), RoundTimeout: chaosRoundTimeout,
+					Bank: b, OfflineMode: OfflineBanked, BankModel: id}
+				_, cliErrs[i], classes[i] = runParties(t, qm, sconn, cconn, scfg, ccfg)
+			}()
+		}
+		wg.Wait()
+		completed := 0
+		for i, err := range cliErrs {
+			switch {
+			case err == nil:
+				completed++
+				for k, x := range chaosInputs(2) {
+					if classes[i][k] != qm.Predict(x) {
+						t.Errorf("session %d misclassified input %d", i, k)
+					}
+				}
+			case errors.Is(err, ErrBankDry):
+				// The typed retryable outcome — what the serve layer turns
+				// into a bank-dry rejection.
+			default:
+				t.Errorf("session %d failed without the typed dry error: %v", i, err)
+			}
+		}
+		if completed == 0 {
+			t.Error("no session won the prewarmed correlation")
+		}
+	})
+
+	t.Run("auto-all-succeed", func(t *testing.T) {
+		b, id, keyFor := chaosBank(t, qm, BankOptions{Capacity: 1})
+		defer b.Close()
+		if err := b.Prewarm(keyFor(2), 1); err != nil {
+			t.Fatalf("prewarm: %v", err)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, 2*sessions)
+		for i := 0; i < sessions; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sconn, cconn := Pipe()
+				scfg := Config{RingBits: 32, RoundTimeout: chaosRoundTimeout,
+					Bank: b, OfflineMode: OfflineAuto}
+				ccfg := Config{RingBits: 32, Seed: 400 + uint64(i), RoundTimeout: chaosRoundTimeout,
+					Bank: b, OfflineMode: OfflineAuto, BankModel: id}
+				var classes []int
+				errs[2*i], errs[2*i+1], classes = runParties(t, qm, sconn, cconn, scfg, ccfg)
+				if errs[2*i+1] == nil {
+					for k, x := range chaosInputs(2) {
+						if classes[k] != qm.Predict(x) {
+							t.Errorf("session %d misclassified input %d", i, k)
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Errorf("session %d party %d: %v", i/2, i%2, err)
+			}
+		}
+	})
+
+	settleGoroutines(t, base, "bank dry concurrent")
 }

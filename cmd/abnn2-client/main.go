@@ -1,20 +1,25 @@
-// Command abnn2-client connects to abnn2-server, receives the public
-// architecture, and requests secure predictions for synthetic inputs.
-// The server never sees the inputs; the client never sees the weights.
+// Command abnn2-client connects to abnn2-server, completes the model
+// handshake, and requests secure predictions for synthetic inputs. The
+// server never sees the inputs; the client never sees the weights.
 //
-// The connect is retried with capped exponential backoff until
+// The connect is retried with capped, jittered exponential backoff until
 // -dial-timeout expires, so the client can be started before (or
-// concurrently with) the server; -round-timeout bounds each protocol
-// round once connected.
+// concurrently with) the server. Server backpressure is honored: a
+// typed retryable rejection (saturated, bank-dry, draining) makes the
+// client wait the server's retry-after hint — jittered, so a herd of
+// shed clients does not stampede back together — and reconnect until
+// admitted or out of budget. -round-timeout bounds each protocol round
+// once admitted.
 //
 // Usage:
 //
 //	abnn2-client -connect localhost:9000 -n 4
+//	abnn2-client -connect localhost:9000 -model mnist -n 4
 package main
 
 import (
 	"context"
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -22,16 +27,18 @@ import (
 	"time"
 
 	"abnn2"
+	"abnn2/internal/serve"
 )
 
 func main() {
 	addr := flag.String("connect", "localhost:9000", "server address")
+	model := flag.String("model", "", "model name to request (empty = server default)")
 	n := flag.Int("n", 4, "number of inputs to classify (one batch)")
 	ringBits := flag.Uint("ring", 64, "share ring bit width l (must match server)")
 	optRelu := flag.Bool("optimized-relu", false, "must match the server's setting")
 	seed := flag.Uint64("dataset-seed", 7, "synthetic dataset seed")
 	workers := flag.Int("workers", 0, "worker goroutines for protocol kernels (0 = one per CPU)")
-	dialTimeout := flag.Duration("dial-timeout", 30*time.Second, "total connect budget including retries")
+	dialTimeout := flag.Duration("dial-timeout", 30*time.Second, "total connect budget including retries and admission backoff")
 	roundTimeout := flag.Duration("round-timeout", time.Minute, "per-round protocol deadline (0 = unbounded)")
 	traceOut := flag.String("trace-out", "", "append protocol spans as JSONL to this file (empty = off)")
 	flag.Parse()
@@ -50,22 +57,18 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
 	defer cancel()
-	conn, err := abnn2.DialTCP(ctx, *addr)
+	conn, arch, err := serve.DialModel(ctx, *addr, *model)
 	if err != nil {
-		logger.Error("dial", "addr", *addr, "err", err)
+		var rej *serve.RejectError
+		if errors.As(err, &rej) {
+			logger.Error("server rejected the connection", "code", rej.Rejection.Code,
+				"retryable", rej.Rejection.Retryable, "reason", rej.Rejection.Reason)
+		} else {
+			logger.Error("dial", "addr", *addr, "err", err)
+		}
 		os.Exit(1)
 	}
 	defer conn.Close()
-	raw, err := conn.Recv()
-	if err != nil {
-		logger.Error("recv architecture", "err", err)
-		os.Exit(1)
-	}
-	var arch abnn2.Arch
-	if err := json.Unmarshal(raw, &arch); err != nil {
-		logger.Error("parse architecture", "err", err)
-		os.Exit(1)
-	}
 	fmt.Printf("architecture: %d layers, input %d, output %d, scheme %s\n",
 		len(arch.Layers), arch.InputSize(), arch.OutputSize(), arch.SchemeName)
 

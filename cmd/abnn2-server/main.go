@@ -1,34 +1,41 @@
-// Command abnn2-server serves secure predictions for a quantized model
-// over TCP. On each accepted connection it first sends the model's public
-// architecture as JSON (shapes, ReLU positions, scheme name, fixed-point
-// precision — never weights), then answers secure inference batches until
-// the client disconnects.
+// Command abnn2-server serves secure predictions over TCP through the
+// resilient multi-tenant runtime in internal/serve. On each accepted
+// connection the client opens with a model handshake (naming one of the
+// hot models, or the default); the server answers with the model's
+// public architecture (shapes, ReLU positions, scheme name, fixed-point
+// precision — never weights) and serves secure inference batches until
+// the client disconnects, or sheds the connection with a typed,
+// retryable rejection carrying a retry-after hint.
 //
-// The server is built to survive hostile or broken clients: each
-// connection is served in its own goroutine with panics contained at the
-// session boundary, protocol rounds are bounded by -round-timeout so a
-// stalled peer cannot pin a worker forever, concurrent sessions are
-// capped by -max-conns, and SIGINT/SIGTERM triggers a graceful drain —
-// no new connections, in-flight batches run to completion within
-// -grace, then remaining sessions are aborted.
+// Resilience: admission is bounded (-max-conns session slots sized
+// against worker-pool capacity), the handshake runs under
+// -handshake-timeout so a slow-loris client can never pin a slot,
+// protocol rounds are bounded by -round-timeout, panics are contained at
+// the session boundary, and SIGINT/SIGTERM triggers a graceful drain —
+// new handshakes are shed as "draining", in-flight batches run to
+// completion within -grace, then remaining sessions are aborted. With a
+// correlation bank configured the server degrades gracefully: sessions
+// draw precomputed offline material while pools last and fall back to
+// inline offline generation when they run dry (or shed with "bank-dry"
+// under -offline banked).
 //
 // Observability: every session is assigned an ID that correlates its
 // structured log lines, trace spans, and metrics. -metrics-addr starts
 // an HTTP endpoint exposing Prometheus text at /metrics, an
-// expvar-style JSON document at /vars, and the pprof profiles under
-// /debug/pprof/. -trace-out appends every protocol span (per phase, per
-// layer, with byte/flight/duration attribution) to a JSONL file that
-// abnn2-inspect -trace can replay into a breakdown table.
+// expvar-style JSON document at /vars, liveness and readiness at
+// /healthz and /readyz (ready gates on bank prewarm and flips off at
+// drain), and the pprof profiles under /debug/pprof/. -trace-out
+// appends every protocol span to a JSONL file that abnn2-inspect -trace
+// can replay into a breakdown table.
 //
 // Usage:
 //
 //	abnn2-train -out model.json
-//	abnn2-server -model model.json -listen :9000 -metrics-addr :9090
+//	abnn2-server -model model.json -models alt=other.json -listen :9000 -metrics-addr :9090
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"log/slog"
 	"net"
@@ -36,58 +43,86 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"abnn2"
 	"abnn2/internal/bank"
 	"abnn2/internal/metrics"
+	"abnn2/internal/serve"
 )
 
 func main() {
-	modelPath := flag.String("model", "model.json", "quantized model JSON")
+	modelPath := flag.String("model", "model.json", "default quantized model JSON (registered under its file stem)")
+	extraModels := flag.String("models", "", "additional hot models as comma-separated name=path pairs")
 	listen := flag.String("listen", ":9000", "listen address")
 	ringBits := flag.Uint("ring", 64, "share ring bit width l")
 	optRelu := flag.Bool("optimized-relu", false, "use the sign-leaking optimized ReLU (section 4.2)")
 	workers := flag.Int("workers", 0, "worker goroutines for protocol kernels (0 = one per CPU)")
-	maxConns := flag.Int("max-conns", 16, "maximum concurrent client sessions")
+	maxConns := flag.Int("max-conns", 0, "maximum concurrently admitted sessions (0 = derive from CPU count and -workers)")
+	handshakeTimeout := flag.Duration("handshake-timeout", 10*time.Second, "deadline for a new connection to complete the model handshake")
 	roundTimeout := flag.Duration("round-timeout", time.Minute, "per-round protocol deadline (0 = unbounded)")
 	grace := flag.Duration("grace", 30*time.Second, "drain period for in-flight sessions on shutdown")
 	maxMsg := flag.Int("max-message", 0, "per-message size limit in bytes (0 = default 64 MiB)")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address (empty = off)")
+	offlineMode := flag.String("offline", "auto", "offline provisioning: auto (bank with inline fallback), inline, banked (shed when pools are dry)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /vars, /healthz, /readyz and /debug/pprof on this address (empty = off)")
 	traceOut := flag.String("trace-out", "", "append protocol spans as JSONL to this file (empty = off)")
-	bankCap := flag.Int("bank-capacity", 0, "correlation pool capacity per batch size (0 = bank off); "+
+	bankCap := flag.Int("bank-capacity", 0, "correlation pool capacity per (model, batch) (0 = bank off); "+
 		"pools serve co-located clients sharing this process's bank — see DESIGN.md")
 	bankLow := flag.Int("bank-low", 0, "pool low watermark triggering background refill (0 = capacity/2)")
-	bankPrewarm := flag.String("bank-prewarm", "1", "comma-separated batch sizes to prewarm correlation pools for")
+	bankPrewarm := flag.String("bank-prewarm", "1", "comma-separated batch sizes to prewarm correlation pools for, per model")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "abnn2-server")
 
-	data, err := os.ReadFile(*modelPath)
+	mode, err := parseOfflineMode(*offlineMode)
 	if err != nil {
-		logger.Error("read model", "err", err)
+		logger.Error("bad -offline", "err", err)
 		os.Exit(1)
 	}
-	qm, err := abnn2.LoadQuantizedModel(data)
-	if err != nil {
-		logger.Error("parse model", "err", err)
+	if mode == abnn2.OfflineBanked && *bankCap <= 0 {
+		logger.Error("-offline banked requires -bank-capacity > 0")
 		os.Exit(1)
 	}
-	archJSON, err := json.Marshal(qm.Arch())
-	if err != nil {
-		logger.Error("marshal arch", "err", err)
-		os.Exit(1)
+
+	// Model registry: -model is the default entry, -models adds more hot
+	// models, each admissible by name in the client handshake.
+	registry := serve.NewRegistry()
+	loadModel := func(name, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			logger.Error("read model", "path", path, "err", err)
+			os.Exit(1)
+		}
+		qm, err := abnn2.LoadQuantizedModel(data)
+		if err != nil {
+			logger.Error("parse model", "path", path, "err", err)
+			os.Exit(1)
+		}
+		if _, err := registry.Add(name, qm); err != nil {
+			logger.Error("register model", "name", name, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("model registered", "name", name, "scheme", qm.Scheme())
+	}
+	loadModel(modelStem(*modelPath), *modelPath)
+	for _, pair := range splitNonEmpty(*extraModels) {
+		name, path, ok := strings.Cut(pair, "=")
+		if !ok {
+			logger.Error("bad -models entry (want name=path)", "entry", pair)
+			os.Exit(1)
+		}
+		loadModel(strings.TrimSpace(name), strings.TrimSpace(path))
 	}
 
 	// Telemetry: the metrics bridge always aggregates spans (the cost is
 	// a few counter updates per phase); the HTTP endpoint and the JSONL
 	// dump are opt-in.
-	registry := metrics.NewRegistry()
-	srvMetrics := metrics.NewServerMetrics(registry)
+	reg := metrics.NewRegistry()
+	srvMetrics := metrics.NewServerMetrics(reg)
+	serveMetrics := serve.NewMetrics(reg)
 	traceSink := abnn2.TraceSink(srvMetrics)
 	if *traceOut != "" {
 		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -98,10 +133,64 @@ func main() {
 		defer f.Close()
 		traceSink = abnn2.MultiTraceSink(srvMetrics, abnn2.NewTraceWriter(f))
 	}
+
+	// Correlation bank: precomputes the offline phase off the request
+	// path for every registered model. Banked provisioning requires
+	// client and server to share the bank instance (an in-process trust
+	// domain), so over TCP this serves embedded/load-harness deployments;
+	// remote clients keep using the inline offline phase.
+	var corrBank *abnn2.Bank
+	if *bankCap > 0 {
+		corrBank = abnn2.NewBank(abnn2.BankOptions{
+			Capacity: *bankCap,
+			Low:      *bankLow,
+			Workers:  *workers,
+			Trace:    traceSink,
+			Observer: bank.NewMetricsObserver(reg),
+		})
+		logger.Info("correlation bank up", "capacity", *bankCap, "models", registry.Len())
+	}
+
+	rt, err := serve.New(serve.Options{
+		Registry:         registry,
+		Bank:             corrBank,
+		MaxSessions:      *maxConns,
+		HandshakeTimeout: *handshakeTimeout,
+		Session: abnn2.Config{
+			RingBits:      *ringBits,
+			OptimizedReLU: *optRelu,
+			Workers:       *workers,
+			RoundTimeout:  *roundTimeout,
+			Trace:         traceSink,
+			OfflineMode:   mode,
+		},
+		Metrics: serveMetrics,
+		Logger:  logger,
+	})
+	if err != nil {
+		logger.Error("serve runtime", "err", err)
+		os.Exit(1)
+	}
+	if corrBank != nil {
+		// Readiness gates on this prewarm: /readyz answers 503 until the
+		// pools for every (model, batch) pair have been attempted.
+		var keys []abnn2.BankKey
+		for _, name := range registry.Names() {
+			m, _ := registry.Get(name)
+			for _, b := range parseBatchList(*bankPrewarm) {
+				keys = append(keys, abnn2.BankKey{Model: m.BankID, Scheme: m.Quant.Scheme(),
+					RingBits: *ringBits, Batch: b, Backend: bank.SessionBackend})
+			}
+		}
+		rt.StartPrewarm(keys, *bankCap)
+	}
+
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", registry.Handler())
-		mux.Handle("/vars", registry.JSONHandler())
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/vars", reg.JSONHandler())
+		mux.Handle("/healthz", rt.HealthzHandler())
+		mux.Handle("/readyz", rt.ReadyzHandler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -117,54 +206,19 @@ func main() {
 		logger.Info("metrics endpoint up", "addr", *metricsAddr)
 	}
 
-	// Correlation bank: precomputes the offline phase off the request
-	// path. Replenishment runs in the background; pool depth, hit/miss
-	// and refill counters land in the metrics registry, refill spans in
-	// the trace sink. Banked provisioning requires client and server to
-	// share the bank instance (an in-process trust domain), so over TCP
-	// this serves embedded/load-harness deployments; remote clients keep
-	// using the inline offline phase.
-	var corrBank *abnn2.Bank
-	if *bankCap > 0 {
-		corrBank = abnn2.NewBank(abnn2.BankOptions{
-			Capacity: *bankCap,
-			Low:      *bankLow,
-			Workers:  *workers,
-			Trace:    traceSink,
-			Observer: bank.NewMetricsObserver(registry),
-		})
-		modelID, err := abnn2.RegisterBankModel(corrBank, qm)
-		if err != nil {
-			logger.Error("register bank model", "err", err)
-			os.Exit(1)
-		}
-		batches := parseBatchList(*bankPrewarm)
-		go func() {
-			for _, b := range batches {
-				key := abnn2.BankKey{Model: modelID, Scheme: qm.Scheme(),
-					RingBits: *ringBits, Batch: b, Backend: bank.SessionBackend}
-				if err := corrBank.Prewarm(key, *bankCap); err != nil {
-					logger.Warn("bank prewarm", "batch", b, "err", err)
-					return
-				}
-				logger.Info("bank pool warm", "key", key.String(), "depth", corrBank.Depth(key))
-			}
-		}()
-		logger.Info("correlation bank up", "capacity", *bankCap, "model_id", modelID[:12])
-	}
-
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		logger.Error("listen", "err", err)
 		os.Exit(1)
 	}
 	logger.Info("serving",
-		"model", *modelPath, "scheme", qm.Scheme(), "addr", ln.Addr().String(),
-		"ring", *ringBits, "relu_optimized", *optRelu,
-		"max_conns", *maxConns, "round_timeout", *roundTimeout)
+		"models", strings.Join(registry.Names(), ","), "addr", ln.Addr().String(),
+		"ring", *ringBits, "relu_optimized", *optRelu, "offline", mode.String(),
+		"max_sessions", rt.Admission().Max(), "round_timeout", *roundTimeout)
 
 	// Shutdown protocol: the signal closes the listener (unblocking
-	// Accept); in-flight sessions keep their own context so they can
+	// Accept) and drains the runtime — new handshakes are shed as
+	// "draining", in-flight sessions keep their own context so they can
 	// finish within the grace period before being cancelled.
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -175,9 +229,6 @@ func main() {
 		ln.Close()
 	}()
 
-	var wg sync.WaitGroup
-	var nextSession atomic.Uint64
-	sem := make(chan struct{}, *maxConns)
 	var acceptDelay time.Duration
 	for {
 		tcp, err := ln.Accept()
@@ -197,78 +248,33 @@ func main() {
 			continue
 		}
 		acceptDelay = 0
-		select {
-		case sem <- struct{}{}:
-		default:
-			srvMetrics.ConnsRejected.Inc()
-			logger.Warn("rejected at capacity", "remote", tcp.RemoteAddr().String(), "max_conns", *maxConns)
-			tcp.Close()
-			continue
-		}
-		session := nextSession.Add(1)
 		srvMetrics.ConnsTotal.Inc()
-		srvMetrics.ConnsActive.Add(1)
-		// The session ID tags this connection's log lines, its trace
-		// spans, and (through the spans) its metrics contributions.
-		connLog := logger.With("session", session, "remote", tcp.RemoteAddr().String())
-		cfg := abnn2.Config{
-			RingBits:      *ringBits,
-			OptimizedReLU: *optRelu,
-			Workers:       *workers,
-			RoundTimeout:  *roundTimeout,
-			Trace:         traceSink,
-			SessionID:     session,
-			Bank:          corrBank,
-		}
-		wg.Add(1)
+		// The runtime owns the connection's whole lifecycle: handshake
+		// deadline, admission or typed rejection, session serve, close.
 		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
+			srvMetrics.ConnsActive.Add(1)
 			defer srvMetrics.ConnsActive.Add(-1)
-			defer tcp.Close()
-			conn := abnn2.StreamLimit(tcp, *maxMsg)
-			if err := conn.Send(archJSON); err != nil {
-				connLog.Error("send arch", "err", err)
-				return
-			}
-			connLog.Info("connected")
-			// ServeContext contains panics from malformed peer data and
-			// enforces the round deadline, so one bad client costs at most
-			// its own session.
 			start := time.Now()
-			stats, err := abnn2.ServeContext(connCtx, conn, qm, cfg)
+			err := rt.HandleConn(connCtx, abnn2.StreamLimit(tcp, *maxMsg), tcp.RemoteAddr().String())
 			srvMetrics.ObserveSession(err, time.Since(start))
-			if err != nil {
-				connLog.Error("session failed", "err", err,
-					"bytes_sent", stats.BytesAB, "bytes_recvd", stats.BytesBA)
-				return
-			}
-			connLog.Info("session done",
-				"bytes_sent", stats.BytesAB, "bytes_recvd", stats.BytesBA,
-				"messages", stats.Messages, "flights", stats.Flights,
-				"dur", time.Since(start).Round(time.Millisecond))
 		}()
 	}
 
-	done := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-		logger.Info("shutdown: all sessions drained")
-	case <-time.After(*grace):
-		logger.Warn("shutdown: grace period expired, aborting in-flight sessions", "grace", *grace)
+	dctx, cancelDrain := context.WithTimeout(context.Background(), *grace)
+	if err := rt.Drain(dctx); err != nil {
+		logger.Warn("shutdown: grace period expired, aborting in-flight sessions", "err", err)
 		abortConns()
-		<-done
+		_ = rt.Drain(context.Background())
+	} else {
+		logger.Info("shutdown: all sessions drained")
 	}
+	cancelDrain()
 	if corrBank != nil {
 		// In-flight pool replenishment gets the same grace the sessions
 		// had; whatever is still generating afterwards is force-cancelled
 		// (Close unblocks the generator protocol mid-round).
-		dctx, cancel := context.WithTimeout(context.Background(), *grace)
-		if err := corrBank.Drain(dctx); err != nil {
+		bctx, cancel := context.WithTimeout(context.Background(), *grace)
+		if err := corrBank.Drain(bctx); err != nil {
 			logger.Warn("shutdown: bank drain expired, aborting replenishment", "err", err)
 		}
 		cancel()
@@ -277,14 +283,38 @@ func main() {
 	}
 }
 
+// modelStem names a model after its file: "models/mnist.json" → "mnist".
+func modelStem(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+func parseOfflineMode(s string) (abnn2.OfflineMode, error) {
+	switch s {
+	case "auto":
+		return abnn2.OfflineAuto, nil
+	case "inline":
+		return abnn2.OfflineInline, nil
+	case "banked":
+		return abnn2.OfflineBanked, nil
+	}
+	return 0, strconv.ErrSyntax
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 // parseBatchList parses the -bank-prewarm CSV; bad entries are skipped.
 func parseBatchList(s string) []int {
 	var out []int
-	for _, f := range strings.Split(s, ",") {
-		f = strings.TrimSpace(f)
-		if f == "" {
-			continue
-		}
+	for _, f := range splitNonEmpty(s) {
 		if n, err := strconv.Atoi(f); err == nil && n > 0 {
 			out = append(out, n)
 		}

@@ -90,6 +90,37 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution from the bucket counts, interpolating linearly inside the
+// winning bucket the way Prometheus' histogram_quantile does. Values in
+// the +Inf bucket clamp to the highest finite bound. Returns NaN when
+// nothing has been observed or q is out of range — the load harness uses
+// this to report p50/p99 straight from the live series.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	bounds, cum, _, count := h.snapshot()
+	if count == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(count)
+	for i, b := range bounds {
+		if float64(cum[i]) >= rank {
+			lo, loCum := 0.0, uint64(0)
+			if i > 0 {
+				lo, loCum = bounds[i-1], cum[i-1]
+			}
+			in := cum[i] - loCum
+			if in == 0 {
+				return b
+			}
+			return lo + (b-lo)*(rank-float64(loCum))/float64(in)
+		}
+	}
+	return bounds[len(bounds)-1] // +Inf bucket: clamp to the last bound
+}
+
 // snapshot returns (bounds, cumulative counts per bound, sum, count).
 func (h *Histogram) snapshot() ([]float64, []uint64, float64, uint64) {
 	h.mu.Lock()

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"math"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -240,5 +241,47 @@ func TestServerMetricsBridge(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("scrape missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("q", "", []float64{1, 2, 4, 8})
+
+	if v := h.Quantile(0.5); !math.IsNaN(v) {
+		t.Fatalf("empty histogram quantile = %v, want NaN", v)
+	}
+
+	// 10 samples in (1,2], 10 in (2,4]: the median sits at the 2 boundary,
+	// p25 interpolates to the middle of the first occupied bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+		h.Observe(3)
+	}
+	if v := h.Quantile(0.5); v != 2 {
+		t.Errorf("p50 = %v, want 2 (bucket boundary)", v)
+	}
+	if v := h.Quantile(0.25); v != 1.5 {
+		t.Errorf("p25 = %v, want 1.5 (middle of (1,2])", v)
+	}
+	if v := h.Quantile(0.75); v != 3 {
+		t.Errorf("p75 = %v, want 3 (middle of (2,4])", v)
+	}
+	if v := h.Quantile(1); v != 4 {
+		t.Errorf("p100 = %v, want 4 (top of last occupied bucket)", v)
+	}
+
+	// Out-of-range q is an error, not a clamp.
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if v := h.Quantile(q); !math.IsNaN(v) {
+			t.Errorf("Quantile(%v) = %v, want NaN", q, v)
+		}
+	}
+
+	// Samples beyond the last bound land in +Inf and clamp to it.
+	h2 := r.NewHistogram("q2", "", []float64{1, 2})
+	h2.Observe(100)
+	if v := h2.Quantile(0.99); v != 2 {
+		t.Errorf("+Inf-bucket quantile = %v, want clamp to 2", v)
 	}
 }

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Admission is the runtime's session-level admission controller: a
+// counting semaphore sized from compute capacity, plus an EWMA of
+// session hold times that turns "no slot free" into a concrete
+// retry-after hint. Acquire never blocks — a full server sheds load
+// immediately (the client's backoff is the queue) instead of stacking
+// goroutines behind a semaphore.
+type Admission struct {
+	mu     sync.Mutex
+	max    int
+	active int
+	// ewmaHold tracks how long an admitted session holds its slot, so
+	// the retry hint approximates the time until a slot frees rather
+	// than a blind constant. Zero until the first release.
+	ewmaHold time.Duration
+}
+
+// retry hint clamp: short enough to keep shed clients responsive when a
+// slot frees, long enough to keep a saturated server from being hammered.
+const (
+	minRetryAfter = 25 * time.Millisecond
+	maxRetryAfter = 5 * time.Second
+)
+
+// NewAdmission returns a controller admitting at most max concurrent
+// sessions (minimum 1).
+func NewAdmission(max int) *Admission {
+	if max < 1 {
+		max = 1
+	}
+	return &Admission{max: max}
+}
+
+// TryAcquire claims one session slot without blocking. The returned
+// release frees the slot and feeds the hold duration into the retry-hint
+// estimate; it is idempotent-unsafe and must be called exactly once.
+func (a *Admission) TryAcquire() (release func(), ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.active >= a.max {
+		return nil, false
+	}
+	a.active++
+	start := time.Now()
+	return func() { a.release(time.Since(start)) }, true
+}
+
+func (a *Admission) release(held time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.active--
+	// EWMA with alpha 1/4: stable against one outlier session, adapts
+	// within a few releases when the workload shifts.
+	if a.ewmaHold == 0 {
+		a.ewmaHold = held
+	} else {
+		a.ewmaHold += (held - a.ewmaHold) / 4
+	}
+}
+
+// Active returns the number of currently admitted sessions.
+func (a *Admission) Active() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active
+}
+
+// Max returns the admission capacity.
+func (a *Admission) Max() int { return a.max }
+
+// RetryAfter estimates how long a shed client should wait before
+// reconnecting: the expected time until one of the max slots frees,
+// assuming sessions hold their slots for about the observed EWMA.
+// Clamped to [25ms, 5s]; the default before any session has completed is
+// the low clamp (optimistic — early sheds retry quickly and re-measure).
+func (a *Admission) RetryAfter() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	hint := a.ewmaHold / time.Duration(a.max)
+	if hint < minRetryAfter {
+		hint = minRetryAfter
+	}
+	if hint > maxRetryAfter {
+		hint = maxRetryAfter
+	}
+	return hint
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"abnn2/internal/metrics"
+)
+
+// Metrics is the serving runtime's metric set, registered alongside the
+// protocol-level ServerMetrics on the same registry. Every method on a
+// nil *Metrics is a no-op, so an uninstrumented runtime pays nothing.
+type Metrics struct {
+	Handshakes     *metrics.Counter
+	HandshakeFails *metrics.Counter
+	Shed           *metrics.CounterVec // by rejection code
+	ShedHinted     *metrics.Counter    // retryable sheds that carried a retry-after hint
+	Degraded       *metrics.Counter    // sessions admitted inline because pools were dry
+	SessionsActive *metrics.Gauge
+	SessionsTotal  *metrics.CounterVec // by model name
+	SessionsFailed *metrics.Counter
+	Ready          *metrics.Gauge // 1 when /readyz answers 200
+}
+
+// NewMetrics registers the serving series on r.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		Handshakes:     r.NewCounter("abnn2_serve_handshakes_total", "Connections that began the model handshake."),
+		HandshakeFails: r.NewCounter("abnn2_serve_handshake_failures_total", "Handshakes that failed before admission (timeout, malformed hello, dead conn)."),
+		Shed:           r.NewCounterVec("abnn2_serve_shed_total", "Connections shed with a typed rejection, by code.", "code"),
+		ShedHinted:     r.NewCounter("abnn2_serve_shed_hinted_total", "Retryable sheds that carried a retry-after hint."),
+		Degraded:       r.NewCounter("abnn2_serve_degraded_total", "Sessions admitted with inline (non-banked) offline provisioning because pools were dry."),
+		SessionsActive: r.NewGauge("abnn2_serve_sessions_active", "Admitted sessions currently being served."),
+		SessionsTotal:  r.NewCounterVec("abnn2_serve_sessions_total", "Admitted sessions, by model.", "model"),
+		SessionsFailed: r.NewCounter("abnn2_serve_sessions_failed_total", "Admitted sessions that ended with a protocol error."),
+		Ready:          r.NewGauge("abnn2_serve_ready", "Whether the runtime reports ready (prewarm done, not draining)."),
+	}
+}
+
+func (m *Metrics) handshake() {
+	if m != nil {
+		m.Handshakes.Inc()
+	}
+}
+
+func (m *Metrics) handshakeFail() {
+	if m != nil {
+		m.HandshakeFails.Inc()
+	}
+}
+
+func (m *Metrics) shed(rej Rejection) {
+	if m == nil {
+		return
+	}
+	m.Shed.With(rej.Code).Inc()
+	if rej.Retryable && rej.RetryAfterMillis > 0 {
+		m.ShedHinted.Inc()
+	}
+}
+
+func (m *Metrics) degraded() {
+	if m != nil {
+		m.Degraded.Inc()
+	}
+}
+
+func (m *Metrics) sessionStart(model string) {
+	if m != nil {
+		m.SessionsActive.Add(1)
+		m.SessionsTotal.With(model).Inc()
+	}
+}
+
+func (m *Metrics) sessionEnd(err error) {
+	if m == nil {
+		return
+	}
+	m.SessionsActive.Add(-1)
+	if err != nil {
+		m.SessionsFailed.Inc()
+	}
+}
+
+func (m *Metrics) setReady(ready bool) {
+	if m == nil {
+		return
+	}
+	if ready {
+		m.Ready.Set(1)
+	} else {
+		m.Ready.Set(0)
+	}
+}

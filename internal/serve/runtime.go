@@ -1,0 +1,392 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"abnn2"
+)
+
+// Options configures a Runtime.
+type Options struct {
+	// Registry holds the served models; must contain at least one.
+	Registry *Registry
+	// Bank, when non-nil, provisions sessions from precomputed
+	// correlation pools. Every registered model is given its own pools
+	// (New registers them); sessions degrade per Session.OfflineMode when
+	// pools run dry.
+	Bank *abnn2.Bank
+	// MaxSessions bounds concurrently admitted sessions. 0 derives a
+	// default from GOMAXPROCS and Session.Workers (each session fans its
+	// kernels across Workers goroutines, so capacity is compute slots
+	// with 2x oversubscription for wire waits).
+	MaxSessions int
+	// HandshakeTimeout bounds the model handshake on a new connection:
+	// hello receive and reply send. A connection that has not completed
+	// it is closed — a slow-loris peer holds a socket, never a session
+	// slot. Default 10s.
+	HandshakeTimeout time.Duration
+	// Session is the per-session configuration template: ring width,
+	// ReLU variant, workers, round timeout, trace sink, offline mode.
+	// SessionID and Bank are filled per connection by the runtime.
+	Session abnn2.Config
+	// Metrics, when non-nil, receives the runtime's admission and
+	// session series; see NewMetrics.
+	Metrics *Metrics
+	// Logger receives structured serve-layer logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// retry hints for sheds whose wait is not slot-bound: a draining server
+// wants clients to find another replica soon but not hammer this one;
+// a dry bank refills in roughly one offline-phase time.
+const (
+	drainRetryAfter   = time.Second
+	bankDryRetryAfter = 250 * time.Millisecond
+)
+
+// Runtime is the resilient serving runtime: it owns admission,
+// backpressure, degradation, and lifecycle for every connection handed
+// to HandleConn, whatever transport it arrived on.
+type Runtime struct {
+	reg       *Registry
+	bank      *abnn2.Bank
+	adm       *Admission
+	hsTimeout time.Duration
+	session   abnn2.Config
+	m         *Metrics
+	log       *slog.Logger
+
+	nextSession atomic.Uint64
+	prewarmed   atomic.Bool
+
+	mu       sync.Mutex
+	nconns   int
+	draining bool
+}
+
+// New builds a runtime over a non-empty registry. When a bank is
+// configured, every registered model is registered with it here, so each
+// model gets its own correlation pools keyed by its identity.
+func New(opts Options) (*Runtime, error) {
+	if opts.Registry == nil || opts.Registry.Len() == 0 {
+		return nil, fmt.Errorf("serve: registry is empty")
+	}
+	if opts.Session.OfflineMode == abnn2.OfflineBanked && opts.Bank == nil {
+		return nil, fmt.Errorf("serve: OfflineBanked sessions require Options.Bank")
+	}
+	log := opts.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	max := opts.MaxSessions
+	if max <= 0 {
+		max = defaultMaxSessions(opts.Session.Workers)
+	}
+	hs := opts.HandshakeTimeout
+	if hs <= 0 {
+		hs = 10 * time.Second
+	}
+	rt := &Runtime{
+		reg:       opts.Registry,
+		bank:      opts.Bank,
+		adm:       NewAdmission(max),
+		hsTimeout: hs,
+		session:   opts.Session,
+		m:         opts.Metrics,
+		log:       log,
+	}
+	if rt.bank != nil {
+		for _, name := range rt.reg.Names() {
+			m, _ := rt.reg.Get(name)
+			id, err := abnn2.RegisterBankModel(rt.bank, m.Quant)
+			if err != nil {
+				return nil, fmt.Errorf("serve: register %q with bank: %w", name, err)
+			}
+			m.BankID = id
+		}
+	}
+	rt.prewarmed.Store(true) // until StartPrewarm says otherwise
+	rt.m.setReady(true)
+	return rt, nil
+}
+
+// defaultMaxSessions sizes admission from compute capacity: GOMAXPROCS
+// divided by the per-session worker fan-out, times two — sessions
+// alternate kernel bursts with wire waits, so 2x oversubscription keeps
+// cores busy without thrashing.
+func defaultMaxSessions(workers int) int {
+	ncpu := runtime.GOMAXPROCS(0)
+	if workers <= 0 || workers > ncpu {
+		workers = ncpu
+	}
+	n := ncpu / workers * 2
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// Admission exposes the runtime's admission controller (for health
+// introspection and tests).
+func (rt *Runtime) Admission() *Admission { return rt.adm }
+
+// Bank returns the runtime's correlation bank (nil when banking is off).
+func (rt *Runtime) Bank() *abnn2.Bank { return rt.bank }
+
+// Registry returns the runtime's model registry.
+func (rt *Runtime) Registry() *Registry { return rt.reg }
+
+// StartPrewarm begins background prewarming of the given pool keys to
+// depth each, gating readiness: /readyz answers 503 until every key has
+// been attempted. Prewarm failures are logged and skipped — pools warm
+// lazily on first miss — so a broken key degrades capacity, not startup.
+func (rt *Runtime) StartPrewarm(keys []abnn2.BankKey, depth int) {
+	if rt.bank == nil || len(keys) == 0 {
+		return
+	}
+	rt.prewarmed.Store(false)
+	rt.m.setReady(false)
+	rt.trackConn()
+	go func() {
+		defer rt.untrackConn()
+		for _, key := range keys {
+			if err := rt.bank.Prewarm(key, depth); err != nil {
+				rt.log.Warn("bank prewarm failed", "key", key.String(), "err", err)
+				continue
+			}
+			rt.log.Info("bank pool warm", "key", key.String(), "depth", rt.bank.Depth(key))
+		}
+		rt.prewarmed.Store(true)
+		ready, _ := rt.ReadyState()
+		rt.m.setReady(ready)
+	}()
+}
+
+// ReadyState reports whether the runtime should receive traffic, with a
+// human-readable reason when it should not.
+func (rt *Runtime) ReadyState() (bool, string) {
+	rt.mu.Lock()
+	draining := rt.draining
+	rt.mu.Unlock()
+	switch {
+	case draining:
+		return false, "draining"
+	case rt.reg.Len() == 0:
+		return false, "no models registered"
+	case !rt.prewarmed.Load():
+		return false, "bank prewarm in progress"
+	}
+	return true, "ready"
+}
+
+// Drain puts the runtime into shutdown: every subsequent handshake is
+// shed with a retryable draining rejection, and Drain waits for the
+// connections already inside HandleConn to finish. It returns ctx's
+// error if they outlive it; callers then cancel the session contexts to
+// force the stragglers out.
+func (rt *Runtime) Drain(ctx context.Context) error {
+	rt.mu.Lock()
+	rt.draining = true
+	rt.mu.Unlock()
+	rt.m.setReady(false)
+	for {
+		rt.mu.Lock()
+		n := rt.nconns
+		rt.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain: %d connections still live: %w", n, ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func (rt *Runtime) trackConn() {
+	rt.mu.Lock()
+	rt.nconns++
+	rt.mu.Unlock()
+}
+
+func (rt *Runtime) untrackConn() {
+	rt.mu.Lock()
+	rt.nconns--
+	rt.mu.Unlock()
+}
+
+// HandleConn runs one connection through its whole lifecycle: handshake
+// under deadline, admission, typed rejection or session serve, cleanup.
+// It always closes conn. The returned error describes the outcome for
+// callers that log or test; sheds return the *RejectError the client
+// saw.
+//
+// The handshake deadline is armed before the first read, so a peer that
+// connects and never speaks (slow loris) is dropped when it expires —
+// having consumed a socket and a parked goroutine for the duration, but
+// never a session slot.
+func (rt *Runtime) HandleConn(ctx context.Context, conn abnn2.Conn, remote string) error {
+	rt.trackConn()
+	defer rt.untrackConn()
+	defer conn.Close()
+	rt.m.handshake()
+	_ = conn.SetDeadline(time.Now().Add(rt.hsTimeout))
+
+	raw, err := conn.Recv()
+	if err != nil {
+		rt.m.handshakeFail()
+		rt.log.Warn("handshake read failed", "remote", remote, "err", err)
+		return fmt.Errorf("serve: handshake read: %w", err)
+	}
+	var h hello
+	if len(raw) > maxHelloBytes || json.Unmarshal(raw, &h) != nil || h.V != helloVersion {
+		return rt.reject(conn, remote, Rejection{
+			Code:   RejectBadHello,
+			Reason: "malformed hello or unsupported version",
+		})
+	}
+	model, ok := rt.reg.Get(h.Model)
+	if !ok {
+		return rt.reject(conn, remote, Rejection{
+			Code:   RejectUnknownModel,
+			Reason: fmt.Sprintf("model %q is not served here", h.Model),
+		})
+	}
+	release, rej, degraded := rt.admit(model)
+	if rej != nil {
+		return rt.reject(conn, remote, *rej)
+	}
+	defer release()
+
+	reply, err := json.Marshal(helloReply{OK: true, Model: model.Name, Arch: model.ArchJSON})
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(reply); err != nil {
+		rt.m.handshakeFail()
+		rt.log.Warn("handshake reply failed", "remote", remote, "err", err)
+		return fmt.Errorf("serve: handshake reply: %w", err)
+	}
+	// Handshake done: hand deadline control to the session layer (which
+	// arms per-round deadlines from Config.RoundTimeout).
+	_ = conn.SetDeadline(time.Time{})
+
+	id := rt.nextSession.Add(1)
+	if degraded {
+		rt.m.degraded()
+		rt.log.Info("admitted degraded (pools dry, inline offline)",
+			"session", id, "model", model.Name, "remote", remote)
+	}
+	cfg := rt.session
+	cfg.SessionID = id
+	cfg.Bank = rt.bank
+	rt.m.sessionStart(model.Name)
+	start := time.Now()
+	stats, err := abnn2.ServeContext(ctx, conn, model.Quant, cfg)
+	rt.m.sessionEnd(err)
+	if err != nil {
+		rt.log.Error("session failed", "session", id, "model", model.Name, "remote", remote,
+			"err", err, "bytes_sent", stats.BytesAB, "bytes_recvd", stats.BytesBA)
+		return err
+	}
+	rt.log.Info("session done", "session", id, "model", model.Name, "remote", remote,
+		"bytes_sent", stats.BytesAB, "bytes_recvd", stats.BytesBA,
+		"dur", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// admit decides one handshake: a session slot plus degradation status,
+// or a typed rejection. Decision order: draining beats saturation beats
+// bank state, so a shutting-down server answers consistently whatever
+// its load.
+func (rt *Runtime) admit(model *Model) (release func(), rej *Rejection, degraded bool) {
+	rt.mu.Lock()
+	draining := rt.draining
+	rt.mu.Unlock()
+	if draining {
+		return nil, &Rejection{
+			Code: RejectDraining, Retryable: true,
+			RetryAfterMillis: drainRetryAfter.Milliseconds(),
+			Reason:           "server is draining for shutdown",
+		}, false
+	}
+	release, ok := rt.adm.TryAcquire()
+	if !ok {
+		return nil, &Rejection{
+			Code: RejectSaturated, Retryable: true,
+			RetryAfterMillis: rt.adm.RetryAfter().Milliseconds(),
+			Reason:           fmt.Sprintf("all %d session slots busy", rt.adm.Max()),
+		}, false
+	}
+	if rt.bank != nil && rt.session.OfflineMode != abnn2.OfflineInline {
+		if depth := rt.bankDepth(model); depth == 0 {
+			if rt.session.OfflineMode == abnn2.OfflineBanked {
+				// Admitting would hand the client a session whose every batch
+				// fails; shed instead, while the miss-triggered refill runs.
+				release()
+				return nil, &Rejection{
+					Code: RejectBankDry, Retryable: true,
+					RetryAfterMillis: bankDryRetryAfter.Milliseconds(),
+					Reason:           fmt.Sprintf("correlation pools for model %q are dry", model.Name),
+				}, false
+			}
+			degraded = true // OfflineAuto: serve inline while pools refill
+		}
+	}
+	return release, nil, degraded
+}
+
+// bankDepth sums the live depths of the model's session pools across all
+// batch sizes.
+func (rt *Runtime) bankDepth(m *Model) int {
+	if rt.bank == nil || m.BankID == "" {
+		return 0
+	}
+	total := 0
+	for key, depth := range rt.bank.Snapshot().Depths {
+		if key.Model == m.BankID {
+			total += depth
+		}
+	}
+	return total
+}
+
+// reject sheds one connection: metrics, log, best-effort wire reply
+// (still under the handshake deadline), close. The client observes the
+// same *RejectError this returns.
+func (rt *Runtime) reject(conn abnn2.Conn, remote string, rej Rejection) error {
+	rt.m.shed(rej)
+	rt.log.Warn("shed", "remote", remote, "code", rej.Code,
+		"retryable", rej.Retryable, "retry_after_ms", rej.RetryAfterMillis)
+	if reply, err := json.Marshal(helloReply{OK: false, Reject: &rej}); err == nil {
+		_ = conn.Send(reply)
+	}
+	return &RejectError{Rejection: rej}
+}
+
+// Connect opens an in-process session against the runtime: a pipe pair
+// whose server end is served by HandleConn on a background goroutine,
+// and whose client end completes the handshake here. The load harness
+// and tests use it to drive the exact admission path TCP clients hit,
+// minus the network. On rejection the returned error is the
+// *RejectError, the pipe is closed, and the serving goroutine has
+// already exited by way of its own close.
+func (rt *Runtime) Connect(ctx context.Context, model string) (abnn2.Conn, abnn2.Arch, error) {
+	sconn, cconn := abnn2.Pipe()
+	go func() { _ = rt.HandleConn(ctx, sconn, "inproc") }()
+	arch, err := ClientHandshake(cconn, model)
+	if err != nil {
+		cconn.Close()
+		return nil, arch, err
+	}
+	return cconn, arch, nil
+}

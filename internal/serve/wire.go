@@ -1,0 +1,184 @@
+// Package serve is the resilient multi-tenant serving runtime behind
+// cmd/abnn2-server: a registry of hot models, bounded admission control,
+// explicit backpressure, and graceful degradation from banked to inline
+// offline provisioning.
+//
+// The runtime adds one handshake round in front of the protocol: the
+// client opens with a small JSON hello naming the model it wants, and the
+// server answers either with the model's public architecture (admitted)
+// or with a typed, wire-encoded Rejection. Rejections distinguish
+// retryable overload (saturated, bank-dry, draining — each carrying a
+// retry-after hint the client backs off on) from permanent refusals
+// (unknown model, malformed hello), so a loaded server sheds work in one
+// cheap round trip instead of hanging, dropping, or half-serving
+// connections. See DESIGN.md, "Serving runtime".
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"abnn2"
+)
+
+// helloVersion is the handshake wire version. A server answers an
+// unknown version with a non-retryable bad-hello rejection, so the field
+// doubles as the magic that distinguishes a runtime client from a stray
+// connection.
+const helloVersion = 1
+
+// maxHelloBytes bounds the first client flight. A hello is a short JSON
+// object; anything bigger is hostile or lost.
+const maxHelloBytes = 4096
+
+// hello is the client's opening flight: wire version and requested model
+// (empty selects the registry's default model).
+type hello struct {
+	V     int    `json:"abnn2"`
+	Model string `json:"model,omitempty"`
+}
+
+// helloReply is the server's answer: the model's public architecture on
+// admission, a Rejection otherwise.
+type helloReply struct {
+	OK     bool            `json:"ok"`
+	Model  string          `json:"model,omitempty"`
+	Arch   json.RawMessage `json:"arch,omitempty"`
+	Reject *Rejection      `json:"reject,omitempty"`
+}
+
+// Rejection codes. Saturated, bank-dry and draining are retryable: the
+// condition is expected to clear and the rejection carries a retry-after
+// hint. Unknown-model and bad-hello are permanent for this server.
+const (
+	RejectSaturated    = "saturated"     // admission capacity exhausted
+	RejectBankDry      = "bank-dry"      // banked-only server with empty pools
+	RejectDraining     = "draining"      // shutdown in progress
+	RejectUnknownModel = "unknown-model" // requested model not registered
+	RejectBadHello     = "bad-hello"     // malformed or wrong-version hello
+)
+
+// Rejection is the typed load-shedding answer of an overloaded or
+// unwilling server. Retryable rejections always carry a non-zero
+// RetryAfterMillis hint; clients should wait about that long (with
+// jitter) before reconnecting.
+type Rejection struct {
+	Code             string `json:"code"`
+	Retryable        bool   `json:"retryable"`
+	RetryAfterMillis int64  `json:"retry_after_ms,omitempty"`
+	Reason           string `json:"reason,omitempty"`
+}
+
+// RetryAfter returns the server's backoff hint as a duration (zero when
+// the rejection is not retryable or carried no hint).
+func (r Rejection) RetryAfter() time.Duration {
+	if r.RetryAfterMillis <= 0 {
+		return 0
+	}
+	return time.Duration(r.RetryAfterMillis) * time.Millisecond
+}
+
+// RejectError is a Rejection as a client-side error, returned by
+// ClientHandshake and DialModel. Use errors.As to recover the typed
+// rejection and its retry hint.
+type RejectError struct {
+	Rejection Rejection
+}
+
+func (e *RejectError) Error() string {
+	r := e.Rejection
+	if r.Retryable {
+		return fmt.Sprintf("serve: rejected (%s, retry after %v): %s", r.Code, r.RetryAfter(), r.Reason)
+	}
+	return fmt.Sprintf("serve: rejected (%s): %s", r.Code, r.Reason)
+}
+
+// Temporary reports whether the server marked the rejection retryable,
+// matching the net.Error convention retry loops already understand.
+func (e *RejectError) Temporary() bool { return e.Rejection.Retryable }
+
+// ClientHandshake performs one handshake attempt on an established
+// connection: it sends the hello for the named model (empty = server
+// default) and decodes the reply. A server-side rejection comes back as
+// a *RejectError; on success the returned architecture is ready for
+// abnn2.Dial on the same connection.
+func ClientHandshake(conn abnn2.Conn, model string) (abnn2.Arch, error) {
+	var arch abnn2.Arch
+	raw, err := json.Marshal(hello{V: helloVersion, Model: model})
+	if err != nil {
+		return arch, err
+	}
+	if err := conn.Send(raw); err != nil {
+		return arch, fmt.Errorf("serve: send hello: %w", err)
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		return arch, fmt.Errorf("serve: recv hello reply: %w", err)
+	}
+	var hr helloReply
+	if err := json.Unmarshal(reply, &hr); err != nil {
+		return arch, fmt.Errorf("serve: malformed hello reply: %w", err)
+	}
+	if !hr.OK {
+		if hr.Reject == nil {
+			return arch, fmt.Errorf("serve: rejected without a reason")
+		}
+		return arch, &RejectError{Rejection: *hr.Reject}
+	}
+	if err := json.Unmarshal(hr.Arch, &arch); err != nil {
+		return arch, fmt.Errorf("serve: malformed architecture: %w", err)
+	}
+	return arch, nil
+}
+
+// defaultRetryAfter backs off a retryable rejection that carried no hint
+// (a server older than the hint field, or a zero estimate).
+const defaultRetryAfter = 100 * time.Millisecond
+
+// Jitter spreads a backoff delay uniformly over [d/2, 3d/2), so a herd
+// of clients rejected at the same instant does not reconnect at the same
+// instant either.
+func Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + rand.N(d)
+}
+
+// DialModel connects to a serving runtime over TCP and completes the
+// model handshake, honoring the server's backpressure: retryable
+// rejections are retried with the server's retry-after hint (jittered)
+// until ctx expires, while permanent rejections fail immediately. On
+// success the connection is admitted and the architecture ready for
+// abnn2.Dial.
+func DialModel(ctx context.Context, addr, model string) (abnn2.Conn, abnn2.Arch, error) {
+	var arch abnn2.Arch
+	for {
+		conn, err := abnn2.DialTCP(ctx, addr)
+		if err != nil {
+			return nil, arch, err
+		}
+		arch, err := ClientHandshake(conn, model)
+		if err == nil {
+			return conn, arch, nil
+		}
+		conn.Close()
+		var rej *RejectError
+		if !errors.As(err, &rej) || !rej.Temporary() {
+			return nil, arch, err
+		}
+		wait := rej.Rejection.RetryAfter()
+		if wait <= 0 {
+			wait = defaultRetryAfter
+		}
+		select {
+		case <-ctx.Done():
+			return nil, arch, fmt.Errorf("serve: dial %s: %w (last rejection: %v)", addr, ctx.Err(), err)
+		case <-time.After(Jitter(wait)):
+		}
+	}
+}

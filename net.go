@@ -3,15 +3,18 @@ package abnn2
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"time"
 )
 
-// TCP dialing with capped exponential backoff. A freshly started server
-// (or a listener bound an instant ago on a loaded machine) can reject
-// the first connection attempts; retrying with backoff makes client
-// startup robust without hanging on real failures — the context bounds
-// the total wait.
+// TCP dialing with capped, jittered exponential backoff. A freshly
+// started server (or a listener bound an instant ago on a loaded
+// machine) can reject the first connection attempts; retrying with
+// backoff makes client startup robust without hanging on real failures —
+// the context bounds the total wait. The jitter spreads out the retries
+// of many clients dialing the same restarted server, so they do not
+// reconnect as a thundering herd on the same backoff schedule.
 
 const (
 	dialInitialBackoff = 50 * time.Millisecond
@@ -19,10 +22,20 @@ const (
 	dialAttemptTimeout = 2 * time.Second
 )
 
+// jitterBackoff spreads d uniformly over [d/2, 3d/2), keeping the mean
+// at d so the expected total dial time is unchanged.
+func jitterBackoff(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + rand.N(d)
+}
+
 // DialTCP connects to a TCP abnn2 endpoint and returns the framed
 // connection. Failed attempts are retried with capped exponential
-// backoff (50ms doubling to 2s) until ctx is cancelled or its deadline
-// passes; use context.WithTimeout to bound the total dial time.
+// backoff (50ms doubling to 2s, each wait jittered over ±50%) until ctx
+// is cancelled or its deadline passes; use context.WithTimeout to bound
+// the total dial time.
 func DialTCP(ctx context.Context, addr string) (Conn, error) {
 	d := net.Dialer{Timeout: dialAttemptTimeout}
 	backoff := dialInitialBackoff
@@ -36,7 +49,7 @@ func DialTCP(ctx context.Context, addr string) (Conn, error) {
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("abnn2: dial %s: %w (last attempt: %v)", addr, ctx.Err(), lastErr)
-		case <-time.After(backoff):
+		case <-time.After(jitterBackoff(backoff)):
 		}
 		if backoff *= 2; backoff > dialMaxBackoff {
 			backoff = dialMaxBackoff

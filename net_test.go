@@ -1,0 +1,31 @@
+package abnn2
+
+import (
+	"testing"
+	"time"
+)
+
+func TestJitterBackoffRange(t *testing.T) {
+	if got := jitterBackoff(0); got != 0 {
+		t.Fatalf("jitterBackoff(0) = %v", got)
+	}
+	d := 80 * time.Millisecond
+	lo, hi := d, d
+	for i := 0; i < 2000; i++ {
+		j := jitterBackoff(d)
+		if j < d/2 || j >= d+d/2 {
+			t.Fatalf("jitterBackoff(%v) = %v outside [%v, %v)", d, j, d/2, d+d/2)
+		}
+		if j < lo {
+			lo = j
+		}
+		if j > hi {
+			hi = j
+		}
+	}
+	// 2000 draws must spread well past the quartiles; a constant (no
+	// jitter) or a one-sided bug would trip one of these.
+	if lo > d*3/4 || hi < d*5/4 {
+		t.Errorf("jitter spread [%v, %v] suspiciously narrow", lo, hi)
+	}
+}
