@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench tables ablations accuracy bank conformance fuzz corpus chaos loadtest clean
+.PHONY: all build test vet race bench tables ablations accuracy bank bank-durable conformance fuzz corpus chaos loadtest crashtest clean
 
 all: build test
 
@@ -42,6 +42,26 @@ bank:
 	$(GO) test -race -count=1 -run 'TestBanked|TestBankMatmul|TestGoldenSessionBanked' ./internal/testkit
 	$(GO) test -race -count=1 -run 'TestChaosBank' -v .
 	$(GO) test -count=1 -run 'TestTableBankSplit|TestBankBaselineFile' ./internal/bench
+
+# Durable-bank tier under the race detector: the on-disk store's
+# recovery/claim unit tests, the bank-over-store integration tests, the
+# remote offline replenishment suite (peer pairing, crash single-use,
+# link cuts), the serve-layer offline handshake and recovery gating, the
+# 40-seed peer-banked equivalence sweep, and the cold/warm durable bench
+# check.
+bank-durable:
+	$(GO) test -race -count=1 -run 'TestStore|TestScope|TestNewCorrID|TestBank|TestReplenisher' ./internal/bank
+	$(GO) test -race -count=1 -run 'TestRemoteOffline' -v .
+	$(GO) test -race -count=1 -run 'TestOffline|TestRecoveryGates|TestDrainFlushes' ./internal/serve
+	$(GO) test -race -count=1 -run 'TestPeerBankedEquivalenceSweep' ./internal/testkit
+	$(GO) test -count=1 -run 'TestTableBankDurable|TestBankDurableFile' ./internal/bench
+
+# Crash-recovery chaos: SIGKILL a race-built durable server mid-load,
+# restart it on the same store directory, and audit the claim journal
+# for double-spent correlation ids (plus banked-vs-inline agreement on
+# the recovered pools).
+crashtest:
+	GO="$(GO)" scripts/crashtest.sh
 
 # Fault-injection tier under the race detector: full inference through
 # every transport fault class, disconnects at every subprotocol message
@@ -86,6 +106,9 @@ fuzz:
 	$(GO) test ./internal/baseot -fuzz 'FuzzReceive$$' -fuzztime 10s
 	$(GO) test ./internal/baseot -fuzz 'FuzzSend$$' -fuzztime 10s
 	$(GO) test ./internal/paillier -fuzz FuzzUnmarshalCiphertext -fuzztime 10s
+	$(GO) test ./internal/bank -fuzz FuzzScanSegment -fuzztime 10s
+	$(GO) test ./internal/bank -fuzz FuzzScanJournal -fuzztime 10s
+	$(GO) test ./internal/bank -fuzz FuzzDecodeCorr -fuzztime 10s
 
 # Regenerate the checked-in wire-parser seed corpora
 # (internal/*/testdata/fuzz). Run after changing any wire format.

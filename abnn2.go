@@ -119,6 +119,14 @@ type Config struct {
 	// derives the ID from the model it serves. Required when Bank is set
 	// on a client and OfflineMode is not OfflineInline.
 	BankModel string
+	// BankPeer, on a client, is the serving peer's durable identity (the
+	// hex ID from the serve handshake). When set — which requires a Bank
+	// carrying a durable store — provisioning prefers the peer-paired
+	// pool filled by remote offline sessions with that server
+	// (ReplenishSession) over the in-process dealer pools, announcing
+	// correlations with this party's own peer ID so the server can claim
+	// the matching stored half. Empty disables peer-paired draws.
+	BankPeer string
 }
 
 func (c Config) ringBits() uint {
@@ -295,8 +303,10 @@ func (s *Server) HandleBatch() error {
 	bsp := s.tr.Start("batch")
 	err = guard("handle batch", func() error {
 		// 5 bytes announce an inline batch; 13 bytes append a correlation
-		// ID and ask for banked provisioning (see Client.provision).
-		if len(raw) != 5 && len(raw) != 13 {
+		// ID and ask for dealer-banked provisioning; 29 bytes further
+		// append the client's peer ID and ask for a peer-paired half (see
+		// Client.provision).
+		if len(raw) != 5 && len(raw) != 13 && len(raw) != 29 {
 			return fmt.Errorf("abnn2: malformed batch announcement")
 		}
 		batch := int(uint32(raw[0]) | uint32(raw[1])<<8 | uint32(raw[2])<<16 | uint32(raw[3])<<24)
@@ -308,7 +318,13 @@ func (s *Server) HandleBatch() error {
 			return fmt.Errorf("abnn2: unknown output mode %d", raw[4])
 		}
 		bsp.SetBatch(batch)
-		if len(raw) == 13 {
+		if len(raw) == 29 {
+			var peer bank.PeerID
+			copy(peer[:], raw[13:29])
+			if err := s.claimPeerCorr(batch, binary.LittleEndian.Uint64(raw[5:13]), peer); err != nil {
+				return err
+			}
+		} else if len(raw) == 13 {
 			if err := s.claimCorr(batch, binary.LittleEndian.Uint64(raw[5:13])); err != nil {
 				return err
 			}
@@ -353,6 +369,29 @@ func (s *Server) claimCorr(batch int, id uint64) (err error) {
 	return s.eng.InstallCorr(corr)
 }
 
+// claimPeerCorr resolves a peer-banked announcement: it durably claims
+// the server half stored under the announcing client's peer ID (the
+// claim-journal entry lands before the half is installed, so the ID can
+// never back two batches even across a crash) and installs it. Any
+// failure fails the batch immediately, exactly like claimCorr.
+func (s *Server) claimPeerCorr(batch int, id uint64, peer bank.PeerID) (err error) {
+	ksp := s.tr.Start("bank-peer").SetBatch(batch)
+	defer func() { ksp.End(err) }()
+	if s.bank == nil || s.mode == OfflineInline {
+		return fmt.Errorf("abnn2: client announced a peer-banked batch but this server provisions inline")
+	}
+	if s.bank.Store() == nil {
+		return fmt.Errorf("abnn2: client announced a peer-banked batch but this server has no durable store")
+	}
+	key := s.key
+	key.Batch = batch
+	corr, ok := s.bank.ClaimPeer(peer, id, key)
+	if !ok {
+		return fmt.Errorf("abnn2: unknown or spent peer correlation ID for pool %v", key)
+	}
+	return s.eng.InstallCorr(corr)
+}
+
 // Client is the data owner's endpoint.
 type Client struct {
 	eng  *core.ClientEngine
@@ -364,6 +403,10 @@ type Client struct {
 	bank *Bank
 	mode OfflineMode
 	key  BankKey // pool key template; Batch filled per request
+
+	hasPeer  bool
+	peer     bank.PeerID // the server's identity, keying local peer draws
+	selfPeer bank.PeerID // this party's identity, announced to the server
 }
 
 // Dial performs the cryptographic setup for the client role. arch must
@@ -383,6 +426,17 @@ func DialContext(ctx context.Context, conn Conn, arch Arch, cfg Config) (*Client
 	}
 	if cfg.Bank != nil && cfg.OfflineMode != OfflineInline && cfg.BankModel == "" {
 		return nil, fmt.Errorf("abnn2: Config.Bank on a client requires Config.BankModel")
+	}
+	var peer BankPeerID
+	usePeer := cfg.BankPeer != "" && cfg.OfflineMode != OfflineInline
+	if usePeer {
+		if cfg.Bank == nil || cfg.Bank.Store() == nil {
+			return nil, fmt.Errorf("abnn2: Config.BankPeer requires a bank with a durable store")
+		}
+		var perr error
+		if peer, perr = bank.ParsePeerID(cfg.BankPeer); perr != nil {
+			return nil, perr
+		}
 	}
 	scheme, err := quant.Parse(arch.SchemeName)
 	if err != nil {
@@ -406,6 +460,9 @@ func DialContext(ctx context.Context, conn Conn, arch Arch, cfg Config) (*Client
 	if cfg.Bank != nil {
 		cl.key = BankKey{Model: cfg.BankModel, Scheme: arch.SchemeName,
 			RingBits: cfg.ringBits(), Backend: bank.SessionBackend}
+	}
+	if usePeer {
+		cl.hasPeer, cl.peer, cl.selfPeer = true, peer, cfg.Bank.Store().PeerID()
 	}
 	return cl, nil
 }
@@ -513,6 +570,20 @@ func (c *Client) provision(batch int, mode byte) error {
 	if c.bank != nil && c.mode != OfflineInline {
 		key := c.key
 		key.Batch = batch
+		// Peer-paired pool first: material this client generated with this
+		// very server over the real wire, no dealer trust involved.
+		if c.hasPeer {
+			psp := c.tr.Start("bank-peer").SetBatch(batch)
+			if id, corr, ok := c.bank.AcquirePeer(c.peer, key); ok {
+				err := c.eng.InstallCorr(corr)
+				psp.End(err)
+				if err != nil {
+					return err
+				}
+				return c.announcePeerBanked(batch, mode, id)
+			}
+			psp.End(nil)
+		}
 		bsp := c.tr.Start("bank").SetBatch(batch)
 		id, half, ok := c.bank.Acquire(key)
 		if ok {
@@ -559,5 +630,16 @@ func (c *Client) announceBanked(batch int, mode byte, id uint64) error {
 	ann[0], ann[1], ann[2], ann[3] = byte(batch), byte(batch>>8), byte(batch>>16), byte(batch>>24)
 	ann[4] = mode
 	binary.LittleEndian.PutUint64(ann[5:], id)
+	return c.sc.Send(ann)
+}
+
+// announcePeerBanked is announceBanked plus this client's own peer ID,
+// under which the server stored its half of the announced correlation.
+func (c *Client) announcePeerBanked(batch int, mode byte, id uint64) error {
+	ann := make([]byte, 29)
+	ann[0], ann[1], ann[2], ann[3] = byte(batch), byte(batch>>8), byte(batch>>16), byte(batch>>24)
+	ann[4] = mode
+	binary.LittleEndian.PutUint64(ann[5:13], id)
+	copy(ann[13:29], c.selfPeer[:])
 	return c.sc.Send(ann)
 }

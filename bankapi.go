@@ -68,6 +68,49 @@ func BankModelID(q *QuantizedModel) (string, error) {
 	return bank.ModelID(q.qm)
 }
 
+// BankStore is the bank's durable on-disk pool store: append-only
+// CRC-checksummed segment files per pool plus a claim journal with
+// claim-before-use tombstoning, so single-use survives SIGKILL. Open
+// one, Recover it, and pass it as BankOptions.Store; see DESIGN.md
+// "Durable bank".
+type BankStore = bank.Store
+
+// BankStoreOptions configures OpenBankStore: directory, journal fsync
+// cadence, segment rotation size, observer.
+type BankStoreOptions = bank.StoreOptions
+
+// BankRecoverStats summarizes a store's startup recovery scan.
+type BankRecoverStats = bank.RecoverStats
+
+// BankPeerID is a party's durable 128-bit identity, minted at first
+// store open. Peer-paired correlations are keyed by the peer's ID.
+type BankPeerID = bank.PeerID
+
+// OpenBankStore creates or attaches to a durable pool store. Call
+// Recover on it (directly, or via serve.Runtime.StartRecovery) before
+// serving from it.
+func OpenBankStore(opts BankStoreOptions) (*BankStore, error) { return bank.OpenStore(opts) }
+
+// ParseBankPeerID parses the 32-hex-digit form of a peer ID, e.g. the
+// one the serve handshake carries.
+func ParseBankPeerID(s string) (BankPeerID, error) { return bank.ParsePeerID(s) }
+
+// BankReplenisher keeps peer-paired pools above their low watermark by
+// running remote offline sessions in the background, with jittered
+// exponential backoff on transient failures; see NewBankReplenisher.
+type BankReplenisher = bank.Replenisher
+
+// BankReplenishOptions configures a BankReplenisher. Its Run callback
+// typically dials the server's offline endpoint (serve.DialOffline) and
+// drives ReplenishSession.
+type BankReplenishOptions = bank.ReplenishOptions
+
+// NewBankReplenisher validates options and returns a stopped
+// replenisher; Start it and Close it on shutdown.
+func NewBankReplenisher(opts BankReplenishOptions) (*BankReplenisher, error) {
+	return bank.NewReplenisher(opts)
+}
+
 // OfflineMode selects how a session provisions its offline phase; see
 // Config.OfflineMode.
 type OfflineMode int

@@ -11,10 +11,20 @@
 // admitted or out of budget. -round-timeout bounds each protocol round
 // once admitted.
 //
+// With -bank-dir the client keeps a durable correlation store of its
+// own: -prefetch N first runs a remote offline-replenishment session
+// against the server — the genuine two-party offline protocol, no
+// dealer — persisting N peer-paired client halves, and the inference
+// session then provisions each batch from that store (announcing the
+// stored correlation id) instead of running the offline phase inline.
+// Prefetched material survives restarts and stays bound to the server
+// peer it was generated with.
+//
 // Usage:
 //
 //	abnn2-client -connect localhost:9000 -n 4
 //	abnn2-client -connect localhost:9000 -model mnist -n 4
+//	abnn2-client -connect localhost:9000 -bank-dir /var/lib/abnn2 -prefetch 8 -n 4
 package main
 
 import (
@@ -41,8 +51,14 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", 30*time.Second, "total connect budget including retries and admission backoff")
 	roundTimeout := flag.Duration("round-timeout", time.Minute, "per-round protocol deadline (0 = unbounded)")
 	traceOut := flag.String("trace-out", "", "append protocol spans as JSONL to this file (empty = off)")
+	bankDir := flag.String("bank-dir", "", "durable correlation store directory for peer-paired offline material (empty = off)")
+	prefetch := flag.Int("prefetch", 0, "run a remote offline session stocking this many correlations of batch -n before inference (requires -bank-dir)")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "abnn2-client")
+	if *prefetch > 0 && *bankDir == "" {
+		logger.Error("-prefetch requires -bank-dir")
+		os.Exit(1)
+	}
 
 	var traceSink abnn2.TraceSink
 	if *traceOut != "" {
@@ -55,29 +71,92 @@ func main() {
 		traceSink = abnn2.NewTraceWriter(f)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
-	defer cancel()
-	conn, arch, err := serve.DialModel(ctx, *addr, *model)
-	if err != nil {
-		var rej *serve.RejectError
-		if errors.As(err, &rej) {
-			logger.Error("server rejected the connection", "code", rej.Rejection.Code,
-				"retryable", rej.Rejection.Retryable, "reason", rej.Rejection.Reason)
-		} else {
-			logger.Error("dial", "addr", *addr, "err", err)
+	// Durable client-side correlation store: peer-paired offline material
+	// lands here and survives restarts, with claim-before-use keeping
+	// every correlation single-use even through crashes.
+	var store *abnn2.BankStore
+	var cbank *abnn2.Bank
+	if *bankDir != "" {
+		var err error
+		store, err = abnn2.OpenBankStore(abnn2.BankStoreOptions{Dir: *bankDir})
+		if err != nil {
+			logger.Error("open bank store", "dir", *bankDir, "err", err)
+			os.Exit(1)
 		}
-		os.Exit(1)
+		defer store.Close()
+		rstats, err := store.Recover()
+		if err != nil {
+			logger.Error("bank store recovery", "dir", *bankDir, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("bank store recovered", "dir", *bankDir, "peer", store.PeerID().String(),
+			"records", rstats.Records, "claimed", rstats.Claimed,
+			"torn_tails", rstats.TornTails, "quarantined", rstats.Quarantined)
+		cbank = abnn2.NewBank(abnn2.BankOptions{Capacity: *prefetch, Workers: *workers, Store: store})
+		defer cbank.Close()
 	}
-	defer conn.Close()
-	fmt.Printf("architecture: %d layers, input %d, output %d, scheme %s\n",
-		len(arch.Layers), arch.InputSize(), arch.OutputSize(), arch.SchemeName)
 
-	cfg := abnn2.Config{
+	baseCfg := abnn2.Config{
 		RingBits:      *ringBits,
 		OptimizedReLU: *optRelu,
 		Workers:       *workers,
 		RoundTimeout:  *roundTimeout,
 		Trace:         traceSink,
+	}
+	dialFailed := func(what string, err error) {
+		var rej *serve.RejectError
+		if errors.As(err, &rej) {
+			logger.Error("server rejected the "+what, "code", rej.Rejection.Code,
+				"retryable", rej.Rejection.Retryable, "reason", rej.Rejection.Reason)
+		} else {
+			logger.Error(what+" dial", "addr", *addr, "err", err)
+		}
+		os.Exit(1)
+	}
+
+	// Prefetch: run the genuine two-party offline protocol ahead of need,
+	// storing the client halves under the server's peer id.
+	if *prefetch > 0 {
+		octx, ocancel := context.WithTimeout(context.Background(), *dialTimeout)
+		oconn, oinfo, err := serve.DialOffline(octx, *addr, *model, store.PeerID().String())
+		if err != nil {
+			dialFailed("offline session", err)
+		}
+		serverPeer, err := abnn2.ParseBankPeerID(oinfo.Peer)
+		if err != nil {
+			logger.Error("server peer id", "peer", oinfo.Peer, "err", err)
+			os.Exit(1)
+		}
+		ocfg := baseCfg
+		ocfg.Bank, ocfg.BankModel = cbank, oinfo.BankID
+		start := time.Now()
+		got, rerr := abnn2.ReplenishSession(octx, oconn, oinfo.Arch, ocfg, serverPeer, *n, *prefetch)
+		oconn.Close()
+		ocancel()
+		if rerr != nil {
+			logger.Error("offline replenishment failed", "stored", got, "err", rerr)
+			os.Exit(1)
+		}
+		logger.Info("correlations prefetched", "stored", got, "batch", *n,
+			"dur", time.Since(start).Round(time.Millisecond))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
+	defer cancel()
+	conn, info, err := serve.DialModelInfo(ctx, *addr, *model)
+	if err != nil {
+		dialFailed("connection", err)
+	}
+	defer conn.Close()
+	arch := info.Arch
+	fmt.Printf("architecture: %d layers, input %d, output %d, scheme %s\n",
+		len(arch.Layers), arch.InputSize(), arch.OutputSize(), arch.SchemeName)
+
+	cfg := baseCfg
+	if cbank != nil && info.BankID != "" && info.Peer != "" {
+		// Provision from the durable peer-paired pool; a dry pool falls
+		// back to the inline offline phase (OfflineAuto).
+		cfg.Bank, cfg.BankModel, cfg.BankPeer = cbank, info.BankID, info.Peer
 	}
 	client, err := abnn2.Dial(conn, arch, cfg)
 	if err != nil {

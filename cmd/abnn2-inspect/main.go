@@ -10,11 +10,17 @@
 // the observed counterpart of the projections above, in the shape of
 // the paper's cost tables.
 //
+// With -bank-audit it instead audits a durable bank store directory's
+// claim journal for double-spent correlation ids — the single-use
+// invariant scripts/crashtest.sh asserts after SIGKILL/restart cycles —
+// exiting non-zero if any id was claimed twice.
+//
 // Usage:
 //
 //	abnn2-train -out model.json
 //	abnn2-inspect -model model.json -batch 1,32,128 -wan 9,72
 //	abnn2-inspect -trace spans.jsonl
+//	abnn2-inspect -bank-audit /var/lib/abnn2
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 
+	"abnn2/internal/bank"
 	"abnn2/internal/core"
 	"abnn2/internal/nn"
 	"abnn2/internal/otext"
@@ -37,10 +44,15 @@ func main() {
 	ringBits := flag.Uint("ring", 32, "share ring bit width l")
 	wan := flag.String("wan", "9,72", "WAN model as bandwidthMBps,rttMs")
 	tracePath := flag.String("trace", "", "replay a JSONL span dump instead of projecting a model")
+	bankAudit := flag.String("bank-audit", "", "audit a bank store directory's claim journal for double-spent ids")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("abnn2-inspect: ")
 
+	if *bankAudit != "" {
+		auditBank(*bankAudit)
+		return
+	}
 	if *tracePath != "" {
 		replayTrace(*tracePath)
 		return
@@ -163,4 +175,27 @@ func parseWAN(s string) (float64, int, error) {
 		return 0, 0, fmt.Errorf("abnn2-inspect: bad RTT %q", parts[1])
 	}
 	return bw, rtt, nil
+}
+
+// auditBank scans a durable store's claim journal for double-spent
+// correlation ids and exits non-zero when any are found.
+func auditBank(dir string) {
+	res, err := bank.AuditJournal(dir)
+	if err != nil {
+		log.Fatalf("bank audit: %v", err)
+	}
+	fmt.Printf("bank audit of %s:\n", dir)
+	fmt.Printf("  journal entries: %d\n", res.Entries)
+	if res.TornTail {
+		fmt.Println("  torn tail: yes (crashed append; recovery truncates it)")
+	}
+	if len(res.Dupes) == 0 {
+		fmt.Println("  double-spent ids: none")
+		return
+	}
+	for _, d := range res.Dupes {
+		fmt.Printf("  DOUBLE SPEND: scope %016x id %016x claimed %d times\n",
+			d.ScopeHash, d.ID, d.Count)
+	}
+	os.Exit(1)
 }

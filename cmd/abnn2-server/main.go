@@ -74,6 +74,10 @@ func main() {
 		"pools serve co-located clients sharing this process's bank — see DESIGN.md")
 	bankLow := flag.Int("bank-low", 0, "pool low watermark triggering background refill (0 = capacity/2)")
 	bankPrewarm := flag.String("bank-prewarm", "1", "comma-separated batch sizes to prewarm correlation pools for, per model")
+	bankDir := flag.String("bank-dir", "", "durable bank store directory: pools persist across restarts and remote "+
+		"clients may run peer-paired offline replenishment sessions (empty = memory-only; requires -bank-capacity > 0)")
+	bankFsync := flag.Int("bank-fsync", 1, "fsync the claim journal every N claims (1 = every claim, the only "+
+		"setting that makes single-use survive power loss)")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "abnn2-server")
 
@@ -84,6 +88,10 @@ func main() {
 	}
 	if mode == abnn2.OfflineBanked && *bankCap <= 0 {
 		logger.Error("-offline banked requires -bank-capacity > 0")
+		os.Exit(1)
+	}
+	if *bankDir != "" && *bankCap <= 0 {
+		logger.Error("-bank-dir requires -bank-capacity > 0")
 		os.Exit(1)
 	}
 
@@ -140,13 +148,30 @@ func main() {
 	// domain), so over TCP this serves embedded/load-harness deployments;
 	// remote clients keep using the inline offline phase.
 	var corrBank *abnn2.Bank
+	var store *abnn2.BankStore
 	if *bankCap > 0 {
+		obs := bank.NewMetricsObserver(reg)
+		if *bankDir != "" {
+			var err error
+			store, err = abnn2.OpenBankStore(abnn2.BankStoreOptions{
+				Dir:        *bankDir,
+				FsyncEvery: *bankFsync,
+				Observer:   obs,
+			})
+			if err != nil {
+				logger.Error("open bank store", "dir", *bankDir, "err", err)
+				os.Exit(1)
+			}
+			logger.Info("durable bank store up", "dir", *bankDir,
+				"peer", store.PeerID().String(), "fsync_every", *bankFsync)
+		}
 		corrBank = abnn2.NewBank(abnn2.BankOptions{
 			Capacity: *bankCap,
 			Low:      *bankLow,
 			Workers:  *workers,
 			Trace:    traceSink,
-			Observer: bank.NewMetricsObserver(reg),
+			Observer: obs,
+			Store:    store,
 		})
 		logger.Info("correlation bank up", "capacity", *bankCap, "models", registry.Len())
 	}
@@ -172,8 +197,10 @@ func main() {
 		os.Exit(1)
 	}
 	if corrBank != nil {
-		// Readiness gates on this prewarm: /readyz answers 503 until the
-		// pools for every (model, batch) pair have been attempted.
+		// Readiness gates on recovery then prewarm: /readyz answers 503
+		// until the durable store's recovery scan has completed (restoring
+		// persisted pools) and the pools for every (model, batch) pair have
+		// been attempted.
 		var keys []abnn2.BankKey
 		for _, name := range registry.Names() {
 			m, _ := registry.Get(name)
@@ -182,7 +209,11 @@ func main() {
 					RingBits: *ringBits, Batch: b, Backend: bank.SessionBackend})
 			}
 		}
-		rt.StartPrewarm(keys, *bankCap)
+		if store != nil {
+			rt.StartRecovery(store, keys, *bankCap)
+		} else {
+			rt.StartPrewarm(keys, *bankCap)
+		}
 	}
 
 	if *metricsAddr != "" {
@@ -280,6 +311,13 @@ func main() {
 		cancel()
 		_ = corrBank.Close()
 		logger.Info("shutdown: correlation bank closed")
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			logger.Warn("shutdown: bank store close", "err", err)
+		} else {
+			logger.Info("shutdown: bank store closed")
+		}
 	}
 }
 

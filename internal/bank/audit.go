@@ -1,0 +1,83 @@
+package bank
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Offline audit of a store's claim journal: the forensic check behind
+// scripts/crashtest.sh. The journal is the ground truth for single-use —
+// every claim appends exactly one entry before the correlation is handed
+// out, so a (scope, id) pair appearing twice means a correlation was
+// spent twice, the one invariant the durable bank must never break even
+// across SIGKILL.
+
+// AuditDupe is one double-claimed correlation.
+type AuditDupe struct {
+	ScopeHash uint64
+	ID        uint64
+	Count     int
+}
+
+// AuditResult summarizes one journal audit.
+type AuditResult struct {
+	Entries  int  // complete entries scanned
+	TornTail bool // journal ends mid-entry (a crashed append; benign)
+	Dupes    []AuditDupe
+}
+
+// AuditJournal scans the claim journal of the store rooted at dir and
+// returns every correlation id claimed more than once. Unlike recovery
+// (which collapses entries into a set), the audit preserves
+// multiplicity. A torn final entry is reported, not an error; corruption
+// ahead of the tail is an error, matching recovery's fail-closed rule.
+func AuditJournal(dir string) (AuditResult, error) {
+	var res AuditResult
+	data, err := os.ReadFile(filepath.Join(dir, journalF))
+	if err != nil {
+		return res, fmt.Errorf("bank: audit journal: %w", err)
+	}
+	if len(data) < len(journalMagic) {
+		if string(data) == string(journalMagic[:len(data)]) {
+			res.TornTail = true
+			return res, nil
+		}
+		return res, fmt.Errorf("bank: audit: journal too short for header")
+	}
+	if string(data[:len(journalMagic)]) != string(journalMagic) {
+		return res, fmt.Errorf("bank: audit: bad journal magic")
+	}
+	counts := make(map[[2]uint64]int)
+	off := len(journalMagic)
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < journalEntrySize {
+			res.TornTail = true
+			break
+		}
+		e := rest[:journalEntrySize]
+		if crc32.Checksum(e[:16], crcTable) != binary.LittleEndian.Uint32(e[16:20]) {
+			if len(rest) == journalEntrySize {
+				res.TornTail = true
+				break
+			}
+			return res, fmt.Errorf("bank: audit: journal entry checksum mismatch at offset %d", off)
+		}
+		key := [2]uint64{
+			binary.LittleEndian.Uint64(e[0:8]),
+			binary.LittleEndian.Uint64(e[8:16]),
+		}
+		counts[key]++
+		res.Entries++
+		off += journalEntrySize
+	}
+	for key, n := range counts {
+		if n > 1 {
+			res.Dupes = append(res.Dupes, AuditDupe{ScopeHash: key[0], ID: key[1], Count: n})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,67 @@
+package bank
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAuditJournal: a clean journal audits with no dupes, a forged
+// duplicate entry is reported with its multiplicity, and a torn tail is
+// flagged without failing the audit.
+func TestAuditJournal(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openRecovered(t, dir, StoreOptions{})
+	scope := testScope(PeerID{})
+	for i := uint64(1); i <= 3; i++ {
+		if err := st.Append(scope, i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, ok, err := st.Draw(scope); !ok || err != nil {
+			t.Fatalf("draw %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	st.Close()
+
+	res, err := AuditJournal(dir)
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	if res.Entries != 2 || len(res.Dupes) != 0 || res.TornTail {
+		t.Fatalf("clean audit = %+v, want 2 entries, no dupes, no tear", res)
+	}
+
+	// Forge a double spend by re-appending the journal's first entry.
+	path := filepath.Join(dir, journalF)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := data[len(journalMagic) : len(journalMagic)+journalEntrySize]
+	forged := append(append([]byte{}, data...), first...)
+	if err := os.WriteFile(path, forged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err = AuditJournal(dir)
+	if err != nil {
+		t.Fatalf("audit of forged journal: %v", err)
+	}
+	if res.Entries != 3 || len(res.Dupes) != 1 || res.Dupes[0].Count != 2 {
+		t.Fatalf("forged audit = %+v, want 3 entries and one x2 dupe", res)
+	}
+
+	// A torn tail (half an entry) is benign for the audit.
+	torn := forged[:len(forged)-journalEntrySize/2]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err = AuditJournal(dir)
+	if err != nil {
+		t.Fatalf("audit of torn journal: %v", err)
+	}
+	if !res.TornTail || res.Entries != 2 {
+		t.Fatalf("torn audit = %+v, want torn tail with 2 whole entries", res)
+	}
+}

@@ -119,6 +119,13 @@ type Options struct {
 	// Observer, when non-nil, receives pool hit/miss/refill/depth events;
 	// see NewMetricsObserver.
 	Observer Observer
+	// Store, when non-nil, makes the bank durable: generated dealer pairs
+	// are persisted as they are pushed, Restore reloads them after a
+	// restart, every Acquire tombstones its pair in the claim journal
+	// before handing it out, and the peer-paired AcquirePeer/ClaimPeer/
+	// PutPeer* APIs become available. The store must have completed
+	// Recover before the bank touches it.
+	Store *Store
 }
 
 func (o Options) capacity() int {
@@ -330,19 +337,35 @@ func (b *Bank) Acquire(key Key) (id uint64, clientHalf any, ok bool) {
 		b.observe(Event{Kind: "miss", Key: key})
 		return 0, nil, false
 	}
-	p.mu.Lock()
-	if len(p.entries) == 0 {
+	var pair Pair
+	var depth int
+	for {
+		p.mu.Lock()
+		if len(p.entries) == 0 {
+			p.mu.Unlock()
+			b.maybeRefill(p)
+			b.misses.Add(1)
+			b.observe(Event{Kind: "miss", Key: key})
+			return 0, nil, false
+		}
+		e := p.entries[0]
+		p.entries[0] = poolEntry{}
+		p.entries = p.entries[1:]
+		depth = len(p.entries)
 		p.mu.Unlock()
-		b.maybeRefill(p)
-		b.misses.Add(1)
-		b.observe(Event{Kind: "miss", Key: key})
-		return 0, nil, false
+		// Claim-before-use: tombstone the durable record in the journal
+		// before the pair can reach a session. A claim that cannot be made
+		// durable drops the pair (never serve what might replay after a
+		// crash) and tries the next entry.
+		if e.persistID != 0 && b.opts.Store != nil {
+			if _, ok, err := b.opts.Store.ClaimByID(Scope{Key: key}, e.persistID); err != nil || !ok {
+				b.observe(Event{Kind: "persist-claim-drop", Key: key, Err: err})
+				continue
+			}
+		}
+		pair = e.pair
+		break
 	}
-	pair := p.entries[0]
-	p.entries[0] = Pair{}
-	p.entries = p.entries[1:]
-	depth := len(p.entries)
-	p.mu.Unlock()
 	id = b.park(key, pair.Server)
 	b.maybeRefill(p)
 	b.hits.Add(1)
@@ -398,6 +421,13 @@ func (b *Bank) Claim(id uint64, key Key) (serverHalf any, ok bool) {
 	b.observe(Event{Kind: "claim-miss", Key: key})
 	return nil, false
 }
+
+// Capacity returns the bank's per-pool depth bound — also the depth cap
+// a remote offline session enforces per peer pool.
+func (b *Bank) Capacity() int { return b.opts.capacity() }
+
+// Low returns the bank's refill watermark.
+func (b *Bank) Low() int { return b.opts.low() }
 
 // Prewarm synchronously fills the pool to depth n (clamped to Capacity).
 // Errors out rather than blocking forever when the bank is closing.
@@ -474,8 +504,9 @@ func (b *Bank) Keys() []Key {
 	return keys
 }
 
-// Drain stops accepting new replenishment work and waits for in-flight
-// generation to finish (the SIGTERM path of cmd/abnn2-server). Returns
+// Drain stops accepting new replenishment work, waits for in-flight
+// generation to finish (the SIGTERM path of cmd/abnn2-server), and
+// flushes the claim journal so no claim is left in OS buffers. Returns
 // ctx's error if the wait outlives it; callers should follow up with
 // Close, which force-cancels whatever remains.
 func (b *Bank) Drain(ctx context.Context) error {
@@ -489,8 +520,14 @@ func (b *Bank) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if st := b.opts.Store; st != nil {
+			return st.Sync()
+		}
 		return nil
 	case <-ctx.Done():
+		if st := b.opts.Store; st != nil {
+			_ = st.Sync()
+		}
 		return ctx.Err()
 	}
 }
@@ -580,15 +617,35 @@ func (b *Bank) refill(p *pool) {
 	}
 }
 
-// push appends a generated pair, honouring the capacity bound.
+// push appends a generated pair, honouring the capacity bound. Session
+// pairs are persisted to the store first (memory-only on store failure:
+// a broken disk degrades durability, not serving); a pair dropped at the
+// capacity bound claims its fresh record back so disk mirrors memory.
 func (b *Bank) push(p *pool, pair Pair) {
+	e := poolEntry{pair: pair}
+	if st := b.opts.Store; st != nil && p.custom == nil {
+		server, sok := pair.Server.(*core.ServerCorr)
+		client, cok := pair.Client.(*core.ClientCorr)
+		if sok && cok {
+			id := NewCorrID()
+			if err := st.Append(Scope{Key: p.key}, id, EncodePair(server, client)); err != nil {
+				b.observe(Event{Kind: "persist-error", Key: p.key, Err: err})
+			} else {
+				e.persistID = id
+			}
+		}
+	}
 	cap := b.opts.capacity()
 	p.mu.Lock()
-	if len(p.entries) < cap {
-		p.entries = append(p.entries, pair)
+	kept := len(p.entries) < cap
+	if kept {
+		p.entries = append(p.entries, e)
 	}
 	depth := len(p.entries)
 	p.mu.Unlock()
+	if !kept && e.persistID != 0 {
+		_, _, _ = b.opts.Store.ClaimByID(Scope{Key: p.key}, e.persistID)
+	}
 	b.refills.Add(1)
 	b.observe(Event{Kind: "refill", Key: p.key, Depth: depth})
 }

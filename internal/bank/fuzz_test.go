@@ -1,0 +1,154 @@
+package bank
+
+import (
+	"bytes"
+	"testing"
+
+	"abnn2/internal/core"
+	"abnn2/internal/ring"
+)
+
+// Fuzz targets for the durable store's disk parsers. A store directory
+// may be restored from backup, shared between operators, or tampered
+// with, so the parsers must never panic, never allocate from a hostile
+// length field, and must report torn tails with an in-bounds keep
+// offset (recovery truncates to it).
+
+// FuzzScanSegment: arbitrary segment images must scan without panicking,
+// and a torn-tail verdict must carry a keep offset recovery can truncate
+// to safely.
+func FuzzScanSegment(f *testing.F) {
+	scope := Scope{Key: Key{Model: "m", Scheme: "4(2,2)", RingBits: 32,
+		Batch: 2, Backend: "fuzz"}}
+	img := AppendSegmentHeader(nil, scope.String())
+	img = AppendSegmentRecord(img, 7, []byte{KindServerHalf, 1, 2, 3})
+	f.Add(img)
+	f.Add(img[:len(img)-3])             // torn record tail
+	f.Add(img[:5])                      // torn header
+	f.Add([]byte("ABNN2SG1"))           // header magic only
+	f.Add([]byte("NOTMAGIC________"))   // wrong magic
+	f.Add(AppendSegmentHeader(nil, "")) // empty scope line
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, recs, keep, err := scanSegment(data)
+		if err == errTorn {
+			if keep < 0 || keep > int64(len(data)) {
+				t.Fatalf("torn keep offset %d out of [0, %d]", keep, len(data))
+			}
+			// Everything before the tear must scan cleanly after truncation.
+			if keep > 0 {
+				if _, _, _, err2 := scanSegment(data[:keep]); err2 != nil {
+					t.Fatalf("truncated-to-keep image still fails: %v", err2)
+				}
+			}
+		}
+		for _, r := range recs {
+			if len(r.blob) > maxRecordBytes {
+				t.Fatalf("record %d blob of %d bytes exceeds bound", r.id, len(r.blob))
+			}
+		}
+	})
+}
+
+// FuzzScanJournal: arbitrary journal images must scan without panicking;
+// the torn-tail contract mirrors the segment scanner's.
+func FuzzScanJournal(f *testing.F) {
+	img := append([]byte{}, journalMagic...)
+	img = AppendJournalEntry(img, 0xAB, 1)
+	img = AppendJournalEntry(img, 0xAB, 2)
+	f.Add(img)
+	f.Add(img[:len(img)-journalEntrySize/2]) // torn last entry
+	f.Add(append([]byte{}, journalMagic...))
+	f.Add([]byte("ABNN2JN"))  // torn header
+	f.Add([]byte("XXNN2JN1")) // wrong magic
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		claims, keep, err := scanJournal(data)
+		if err == errTorn {
+			if keep < 0 || keep > int64(len(data)) {
+				t.Fatalf("torn keep offset %d out of [0, %d]", keep, len(data))
+			}
+			if keep > 0 {
+				if _, _, err2 := scanJournal(data[:keep]); err2 != nil {
+					t.Fatalf("truncated-to-keep journal still fails: %v", err2)
+				}
+			}
+		}
+		if err == nil {
+			// A clean scan accounts for every byte in whole entries.
+			n := 0
+			for _, ids := range claims {
+				n += len(ids)
+			}
+			if want := int64(len(journalMagic) + n*journalEntrySize); keep != want && n > 0 {
+				// Duplicate entries collapse in the map; keep only has to be
+				// entry-aligned and in bounds.
+				if (keep-int64(len(journalMagic)))%journalEntrySize != 0 {
+					t.Fatalf("clean scan ended off an entry boundary: keep=%d", keep)
+				}
+			}
+		}
+	})
+}
+
+// fuzzCorrPair builds a small but structurally complete correlation
+// pair: two layers, a nil Z1 slot, non-trivial ring values.
+func fuzzCorrPair() (*core.ServerCorr, *core.ClientCorr) {
+	mat := func(rows, cols int, base uint64) *ring.Mat {
+		m := ring.NewMat(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = ring.Elem(base + uint64(i))
+		}
+		return m
+	}
+	s := &core.ServerCorr{Batch: 2, U: []*ring.Mat{mat(3, 2, 10), mat(2, 2, 90)}}
+	c := &core.ClientCorr{
+		Batch: 2,
+		R0:    mat(3, 2, 7),
+		V:     []*ring.Mat{mat(3, 2, 40), mat(2, 2, 50)},
+		Z1:    []*ring.Mat{nil, mat(2, 2, 60)},
+	}
+	return s, c
+}
+
+// FuzzDecodeCorr: arbitrary correlation blobs must decode without
+// panicking, and any blob that decodes must re-encode byte-identically
+// (the codec is canonical — this is what makes the disk round trip of a
+// peer-paired correlation bit-exact).
+func FuzzDecodeCorr(f *testing.F) {
+	s, c := fuzzCorrPair()
+	f.Add(EncodeServerCorr(s))
+	f.Add(EncodeClientCorr(c))
+	f.Add(EncodePair(s, c))
+	f.Add([]byte{KindServerHalf})
+	f.Add([]byte{KindClientHalf, 2, 0, 0, 0})
+	f.Add([]byte{KindPair, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{'X'})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeCorr(data)
+		if err != nil {
+			return // any error is acceptable; panics and OOM are not
+		}
+		var round []byte
+		switch x := v.(type) {
+		case *core.ServerCorr:
+			round = EncodeServerCorr(x)
+		case *core.ClientCorr:
+			round = EncodeClientCorr(x)
+		case Pair:
+			sc, ok1 := x.Server.(*core.ServerCorr)
+			cc, ok2 := x.Client.(*core.ClientCorr)
+			if !ok1 || !ok2 {
+				t.Fatalf("pair halves are %T / %T", x.Server, x.Client)
+			}
+			round = EncodePair(sc, cc)
+		default:
+			t.Fatalf("DecodeCorr returned unexpected type %T", v)
+		}
+		if !bytes.Equal(round, data) {
+			t.Fatalf("decode/encode round trip not canonical: %d bytes in, %d out",
+				len(data), len(round))
+		}
+	})
+}

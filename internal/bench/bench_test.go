@@ -313,3 +313,70 @@ func TestBankBaselineFile(t *testing.T) {
 		}
 	}
 }
+
+// TestTableBankDurable is the acceptance check behind the durable store:
+// a warm start (recovered persisted correlations) must reach its first
+// banked prediction faster and with less wire traffic than a cold start
+// (remote offline session on the boot path), and recovery must actually
+// have found the persisted records.
+func TestTableBankDurable(t *testing.T) {
+	rows := TableBankDurable(quickOpts())
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want cold + warm", len(rows))
+	}
+	cold, warm := rows[0], rows[1]
+	if cold.Mode != "cold-start" || warm.Mode != "warm-start" {
+		t.Fatalf("row order broken: %+v / %+v", cold, warm)
+	}
+	if cold.Recovered != 0 {
+		t.Errorf("cold start recovered %d records from a fresh directory", cold.Recovered)
+	}
+	if warm.Recovered < 1 {
+		t.Errorf("warm start recovered %d records, want at least 1", warm.Recovered)
+	}
+	if warm.CommMB >= cold.CommMB {
+		t.Errorf("warm-start comm %.3f MB not below cold-start %.3f MB", warm.CommMB, cold.CommMB)
+	}
+	if warm.FirstSec >= cold.FirstSec {
+		t.Errorf("warm-start first prediction %.4fs not below cold-start %.4fs",
+			warm.FirstSec, cold.FirstSec)
+	}
+}
+
+// TestBankDurableFile keeps the checked-in BENCH_durable.json honest: it
+// must parse, hold one cold and one warm row, and the recorded warm
+// start must beat the cold start on both axes. Regenerate with:
+//
+//	go run ./cmd/abnn2-bench -bank-durable -baseline-out BENCH_durable.json
+func TestBankDurableFile(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_durable.json")
+	if err != nil {
+		t.Fatalf("read durable baseline: %v", err)
+	}
+	var doc struct {
+		Table string            `json:"table"`
+		Rows  []TableDurableRow `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("parse durable baseline: %v", err)
+	}
+	if doc.Table != "bank-durable" {
+		t.Fatalf("baseline table %q, want bank-durable", doc.Table)
+	}
+	modes := map[string]TableDurableRow{}
+	for _, r := range doc.Rows {
+		modes[r.Mode] = r
+	}
+	cold, okC := modes["cold-start"]
+	warm, okW := modes["warm-start"]
+	if !okC || !okW || len(doc.Rows) != 2 {
+		t.Fatalf("baseline holds rows %v, want exactly cold-start and warm-start", doc.Rows)
+	}
+	if warm.Recovered < 1 {
+		t.Errorf("recorded warm start recovered %d records", warm.Recovered)
+	}
+	if warm.CommMB >= cold.CommMB || warm.FirstSec >= cold.FirstSec {
+		t.Errorf("recorded warm start (%.4fs, %.3f MB) not below cold start (%.4fs, %.3f MB)",
+			warm.FirstSec, warm.CommMB, cold.FirstSec, cold.CommMB)
+	}
+}

@@ -16,7 +16,9 @@ type Metrics struct {
 	SessionsActive *metrics.Gauge
 	SessionsTotal  *metrics.CounterVec // by model name
 	SessionsFailed *metrics.Counter
-	Ready          *metrics.Gauge // 1 when /readyz answers 200
+	OfflineTotal   *metrics.Counter // admitted remote offline-replenishment sessions
+	OfflineFailed  *metrics.Counter // offline sessions that ended with an error
+	Ready          *metrics.Gauge   // 1 when /readyz answers 200
 }
 
 // NewMetrics registers the serving series on r.
@@ -30,6 +32,8 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 		SessionsActive: r.NewGauge("abnn2_serve_sessions_active", "Admitted sessions currently being served."),
 		SessionsTotal:  r.NewCounterVec("abnn2_serve_sessions_total", "Admitted sessions, by model.", "model"),
 		SessionsFailed: r.NewCounter("abnn2_serve_sessions_failed_total", "Admitted sessions that ended with a protocol error."),
+		OfflineTotal:   r.NewCounter("abnn2_serve_offline_sessions_total", "Admitted remote offline-replenishment sessions."),
+		OfflineFailed:  r.NewCounter("abnn2_serve_offline_sessions_failed_total", "Remote offline-replenishment sessions that ended with an error."),
 		Ready:          r.NewGauge("abnn2_serve_ready", "Whether the runtime reports ready (prewarm done, not draining)."),
 	}
 }
@@ -76,6 +80,23 @@ func (m *Metrics) sessionEnd(err error) {
 	m.SessionsActive.Add(-1)
 	if err != nil {
 		m.SessionsFailed.Inc()
+	}
+}
+
+func (m *Metrics) offlineStart() {
+	if m != nil {
+		m.SessionsActive.Add(1)
+		m.OfflineTotal.Inc()
+	}
+}
+
+func (m *Metrics) offlineEnd(err error) {
+	if m == nil {
+		return
+	}
+	m.SessionsActive.Add(-1)
+	if err != nil {
+		m.OfflineFailed.Inc()
 	}
 }
 

@@ -66,10 +66,12 @@ type Runtime struct {
 
 	nextSession atomic.Uint64
 	prewarmed   atomic.Bool
+	recovered   atomic.Bool
 
 	mu       sync.Mutex
 	nconns   int
 	draining bool
+	store    *abnn2.BankStore // set by StartRecovery; flushed on Drain
 }
 
 // New builds a runtime over a non-empty registry. When a bank is
@@ -114,6 +116,7 @@ func New(opts Options) (*Runtime, error) {
 		}
 	}
 	rt.prewarmed.Store(true) // until StartPrewarm says otherwise
+	rt.recovered.Store(true) // until StartRecovery says otherwise
 	rt.m.setReady(true)
 	return rt, nil
 }
@@ -170,6 +173,50 @@ func (rt *Runtime) StartPrewarm(keys []abnn2.BankKey, depth int) {
 	}()
 }
 
+// StartRecovery begins background recovery of the bank's durable store,
+// gating readiness: /readyz answers 503 until the recovery scan has
+// completed, so banked sessions never run against an unvalidated store.
+// On success the bank's persisted dealer pairs are restored into their
+// pools, then prewarming of keys starts (so prewarm tops up what
+// recovery did not restore, instead of racing it). A failed recovery is
+// logged and leaves the store disabled — the bank serves memory-only,
+// degrading durability rather than startup — and the runtime still
+// becomes ready.
+func (rt *Runtime) StartRecovery(store *abnn2.BankStore, keys []abnn2.BankKey, depth int) {
+	if store == nil {
+		rt.StartPrewarm(keys, depth)
+		return
+	}
+	rt.mu.Lock()
+	rt.store = store
+	rt.mu.Unlock()
+	rt.recovered.Store(false)
+	rt.m.setReady(false)
+	rt.trackConn()
+	go func() {
+		defer rt.untrackConn()
+		stats, err := store.Recover()
+		if err != nil {
+			rt.log.Error("bank store recovery failed; serving memory-only", "dir", store.Dir(), "err", err)
+		} else {
+			rt.log.Info("bank store recovered", "dir", store.Dir(),
+				"scopes", stats.Scopes, "records", stats.Records, "claimed", stats.Claimed,
+				"torn_tails", stats.TornTails, "quarantined", stats.Quarantined)
+			if rt.bank != nil {
+				if n, rerr := rt.bank.Restore(); rerr != nil {
+					rt.log.Warn("bank restore failed", "err", rerr)
+				} else if n > 0 {
+					rt.log.Info("bank pools restored from store", "pairs", n)
+				}
+			}
+		}
+		rt.recovered.Store(true)
+		ready, _ := rt.ReadyState()
+		rt.m.setReady(ready)
+		rt.StartPrewarm(keys, depth)
+	}()
+}
+
 // ReadyState reports whether the runtime should receive traffic, with a
 // human-readable reason when it should not.
 func (rt *Runtime) ReadyState() (bool, string) {
@@ -181,6 +228,8 @@ func (rt *Runtime) ReadyState() (bool, string) {
 		return false, "draining"
 	case rt.reg.Len() == 0:
 		return false, "no models registered"
+	case !rt.recovered.Load():
+		return false, "bank store recovery in progress"
 	case !rt.prewarmed.Load():
 		return false, "bank prewarm in progress"
 	}
@@ -195,8 +244,18 @@ func (rt *Runtime) ReadyState() (bool, string) {
 func (rt *Runtime) Drain(ctx context.Context) error {
 	rt.mu.Lock()
 	rt.draining = true
+	store := rt.store
 	rt.mu.Unlock()
 	rt.m.setReady(false)
+	// Flush the claim journal even when sessions outlive the deadline: an
+	// abandoned drain must not leave claims in OS buffers.
+	if store != nil {
+		defer func() {
+			if err := store.Sync(); err != nil {
+				rt.log.Warn("claim journal flush on drain failed", "err", err)
+			}
+		}()
+	}
 	for {
 		rt.mu.Lock()
 		n := rt.nconns
@@ -261,13 +320,20 @@ func (rt *Runtime) HandleConn(ctx context.Context, conn abnn2.Conn, remote strin
 			Reason: fmt.Sprintf("model %q is not served here", h.Model),
 		})
 	}
+	if h.Offline {
+		return rt.handleOffline(ctx, conn, remote, model, h)
+	}
 	release, rej, degraded := rt.admit(model)
 	if rej != nil {
 		return rt.reject(conn, remote, *rej)
 	}
 	defer release()
 
-	reply, err := json.Marshal(helloReply{OK: true, Model: model.Name, Arch: model.ArchJSON})
+	hr := helloReply{OK: true, Model: model.Name, Arch: model.ArchJSON}
+	if rt.bank != nil && rt.bank.Store() != nil {
+		hr.BankID, hr.Peer = model.BankID, rt.bank.Store().PeerID().String()
+	}
+	reply, err := json.Marshal(hr)
 	if err != nil {
 		return err
 	}
@@ -300,6 +366,86 @@ func (rt *Runtime) HandleConn(ctx context.Context, conn abnn2.Conn, remote strin
 	}
 	rt.log.Info("session done", "session", id, "model", model.Name, "remote", remote,
 		"bytes_sent", stats.BytesAB, "bytes_recvd", stats.BytesBA,
+		"dur", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// handleOffline serves a remote offline-replenishment session: the
+// client and this server run the real two-party offline protocol and
+// each durably stores its half of every correlation under the other's
+// peer id. Offline sessions take a normal session slot — they cost the
+// same compute as an inline offline phase — but skip the bank-dry
+// check, since their whole point is to fill pools.
+func (rt *Runtime) handleOffline(ctx context.Context, conn abnn2.Conn, remote string, model *Model, h hello) error {
+	if rt.bank == nil || rt.bank.Store() == nil {
+		return rt.reject(conn, remote, Rejection{
+			Code:   RejectBadHello,
+			Reason: "offline sessions require a server with a durable bank store",
+		})
+	}
+	peer, err := abnn2.ParseBankPeerID(h.Peer)
+	if err != nil {
+		return rt.reject(conn, remote, Rejection{
+			Code:   RejectBadHello,
+			Reason: "offline sessions require the client's bank peer id",
+		})
+	}
+	if !rt.recovered.Load() {
+		// The store refuses writes until recovery completes; shedding here
+		// saves the client a doomed offline phase.
+		return rt.reject(conn, remote, Rejection{
+			Code: RejectBankDry, Retryable: true,
+			RetryAfterMillis: bankDryRetryAfter.Milliseconds(),
+			Reason:           "bank store recovery in progress",
+		})
+	}
+	rt.mu.Lock()
+	draining := rt.draining
+	rt.mu.Unlock()
+	if draining {
+		return rt.reject(conn, remote, Rejection{
+			Code: RejectDraining, Retryable: true,
+			RetryAfterMillis: drainRetryAfter.Milliseconds(),
+			Reason:           "server is draining for shutdown",
+		})
+	}
+	release, ok := rt.adm.TryAcquire()
+	if !ok {
+		return rt.reject(conn, remote, Rejection{
+			Code: RejectSaturated, Retryable: true,
+			RetryAfterMillis: rt.adm.RetryAfter().Milliseconds(),
+			Reason:           fmt.Sprintf("all %d session slots busy", rt.adm.Max()),
+		})
+	}
+	defer release()
+
+	reply, err := json.Marshal(helloReply{OK: true, Model: model.Name, Arch: model.ArchJSON,
+		BankID: model.BankID, Peer: rt.bank.Store().PeerID().String()})
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(reply); err != nil {
+		rt.m.handshakeFail()
+		rt.log.Warn("handshake reply failed", "remote", remote, "err", err)
+		return fmt.Errorf("serve: handshake reply: %w", err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+
+	id := rt.nextSession.Add(1)
+	cfg := rt.session
+	cfg.SessionID = id
+	cfg.Bank = rt.bank
+	rt.m.offlineStart()
+	start := time.Now()
+	err = abnn2.ServeOfflineSession(ctx, conn, model.Quant, cfg, peer)
+	rt.m.offlineEnd(err)
+	if err != nil {
+		rt.log.Error("offline session failed", "session", id, "model", model.Name,
+			"remote", remote, "peer", h.Peer, "err", err)
+		return err
+	}
+	rt.log.Info("offline session done", "session", id, "model", model.Name,
+		"remote", remote, "peer", h.Peer,
 		"dur", time.Since(start).Round(time.Millisecond))
 	return nil
 }

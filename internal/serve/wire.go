@@ -36,18 +36,28 @@ const helloVersion = 1
 const maxHelloBytes = 4096
 
 // hello is the client's opening flight: wire version and requested model
-// (empty selects the registry's default model).
+// (empty selects the registry's default model). Offline asks for a
+// remote offline-replenishment session instead of an inference session;
+// it requires Peer, the client's durable bank identity, under which the
+// server will store its correlation halves.
 type hello struct {
-	V     int    `json:"abnn2"`
-	Model string `json:"model,omitempty"`
+	V       int    `json:"abnn2"`
+	Model   string `json:"model,omitempty"`
+	Offline bool   `json:"offline,omitempty"`
+	Peer    string `json:"peer,omitempty"`
 }
 
 // helloReply is the server's answer: the model's public architecture on
-// admission, a Rejection otherwise.
+// admission, a Rejection otherwise. BankID is the model's bank identity
+// and Peer the server's durable bank identity, both present only when
+// the server runs a durable bank — together they let the client key
+// peer-paired pools identically to the server.
 type helloReply struct {
 	OK     bool            `json:"ok"`
 	Model  string          `json:"model,omitempty"`
 	Arch   json.RawMessage `json:"arch,omitempty"`
+	BankID string          `json:"bank_id,omitempty"`
+	Peer   string          `json:"peer,omitempty"`
 	Reject *Rejection      `json:"reject,omitempty"`
 }
 
@@ -101,38 +111,64 @@ func (e *RejectError) Error() string {
 // matching the net.Error convention retry loops already understand.
 func (e *RejectError) Temporary() bool { return e.Rejection.Retryable }
 
+// HandshakeInfo is everything an admitted handshake tells the client:
+// the model's public architecture, and — when the server runs a durable
+// bank — the model's bank identity and the server's durable peer ID,
+// ready for abnn2.Config.BankModel/BankPeer or a replenish session.
+type HandshakeInfo struct {
+	Model  string
+	Arch   abnn2.Arch
+	BankID string
+	Peer   string
+}
+
 // ClientHandshake performs one handshake attempt on an established
 // connection: it sends the hello for the named model (empty = server
 // default) and decodes the reply. A server-side rejection comes back as
 // a *RejectError; on success the returned architecture is ready for
 // abnn2.Dial on the same connection.
 func ClientHandshake(conn abnn2.Conn, model string) (abnn2.Arch, error) {
-	var arch abnn2.Arch
-	raw, err := json.Marshal(hello{V: helloVersion, Model: model})
+	info, err := clientHandshakeInfo(conn, hello{V: helloVersion, Model: model})
+	return info.Arch, err
+}
+
+// ClientHandshakeOffline performs the handshake for a remote offline-
+// replenishment session: peer is this client's durable bank identity
+// (hex). On success the connection is ready for abnn2.ReplenishSession
+// with the returned BankID and Peer.
+func ClientHandshakeOffline(conn abnn2.Conn, model, peer string) (HandshakeInfo, error) {
+	return clientHandshakeInfo(conn, hello{V: helloVersion, Model: model, Offline: true, Peer: peer})
+}
+
+// clientHandshakeInfo sends h and decodes the full reply.
+func clientHandshakeInfo(conn abnn2.Conn, h hello) (HandshakeInfo, error) {
+	var info HandshakeInfo
+	raw, err := json.Marshal(h)
 	if err != nil {
-		return arch, err
+		return info, err
 	}
 	if err := conn.Send(raw); err != nil {
-		return arch, fmt.Errorf("serve: send hello: %w", err)
+		return info, fmt.Errorf("serve: send hello: %w", err)
 	}
 	reply, err := conn.Recv()
 	if err != nil {
-		return arch, fmt.Errorf("serve: recv hello reply: %w", err)
+		return info, fmt.Errorf("serve: recv hello reply: %w", err)
 	}
 	var hr helloReply
 	if err := json.Unmarshal(reply, &hr); err != nil {
-		return arch, fmt.Errorf("serve: malformed hello reply: %w", err)
+		return info, fmt.Errorf("serve: malformed hello reply: %w", err)
 	}
 	if !hr.OK {
 		if hr.Reject == nil {
-			return arch, fmt.Errorf("serve: rejected without a reason")
+			return info, fmt.Errorf("serve: rejected without a reason")
 		}
-		return arch, &RejectError{Rejection: *hr.Reject}
+		return info, &RejectError{Rejection: *hr.Reject}
 	}
-	if err := json.Unmarshal(hr.Arch, &arch); err != nil {
-		return arch, fmt.Errorf("serve: malformed architecture: %w", err)
+	if err := json.Unmarshal(hr.Arch, &info.Arch); err != nil {
+		return info, fmt.Errorf("serve: malformed architecture: %w", err)
 	}
-	return arch, nil
+	info.Model, info.BankID, info.Peer = hr.Model, hr.BankID, hr.Peer
+	return info, nil
 }
 
 // defaultRetryAfter backs off a retryable rejection that carried no hint
@@ -156,20 +192,40 @@ func Jitter(d time.Duration) time.Duration {
 // success the connection is admitted and the architecture ready for
 // abnn2.Dial.
 func DialModel(ctx context.Context, addr, model string) (abnn2.Conn, abnn2.Arch, error) {
-	var arch abnn2.Arch
+	conn, info, err := dialHello(ctx, addr, hello{V: helloVersion, Model: model})
+	return conn, info.Arch, err
+}
+
+// DialModelInfo is DialModel returning the full handshake info — bank
+// identity and server peer ID included — for clients that provision from
+// peer-paired pools (abnn2.Config.BankModel/BankPeer).
+func DialModelInfo(ctx context.Context, addr, model string) (abnn2.Conn, HandshakeInfo, error) {
+	return dialHello(ctx, addr, hello{V: helloVersion, Model: model})
+}
+
+// DialOffline connects for a remote offline-replenishment session: peer
+// is this client's durable bank identity (hex). The same backpressure
+// handling as DialModel applies; on success the connection is admitted
+// and ready for abnn2.ReplenishSession with the returned BankID and
+// Peer.
+func DialOffline(ctx context.Context, addr, model, peer string) (abnn2.Conn, HandshakeInfo, error) {
+	return dialHello(ctx, addr, hello{V: helloVersion, Model: model, Offline: true, Peer: peer})
+}
+
+func dialHello(ctx context.Context, addr string, h hello) (abnn2.Conn, HandshakeInfo, error) {
 	for {
 		conn, err := abnn2.DialTCP(ctx, addr)
 		if err != nil {
-			return nil, arch, err
+			return nil, HandshakeInfo{}, err
 		}
-		arch, err := ClientHandshake(conn, model)
+		info, err := clientHandshakeInfo(conn, h)
 		if err == nil {
-			return conn, arch, nil
+			return conn, info, nil
 		}
 		conn.Close()
 		var rej *RejectError
 		if !errors.As(err, &rej) || !rej.Temporary() {
-			return nil, arch, err
+			return nil, info, err
 		}
 		wait := rej.Rejection.RetryAfter()
 		if wait <= 0 {
@@ -177,7 +233,7 @@ func DialModel(ctx context.Context, addr, model string) (abnn2.Conn, abnn2.Arch,
 		}
 		select {
 		case <-ctx.Done():
-			return nil, arch, fmt.Errorf("serve: dial %s: %w (last rejection: %v)", addr, ctx.Err(), err)
+			return nil, info, fmt.Errorf("serve: dial %s: %w (last rejection: %v)", addr, ctx.Err(), err)
 		case <-time.After(Jitter(wait)):
 		}
 	}

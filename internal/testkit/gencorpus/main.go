@@ -17,9 +17,12 @@ import (
 	"os"
 	"path/filepath"
 
+	"abnn2/internal/bank"
+	"abnn2/internal/core"
 	"abnn2/internal/gc"
 	"abnn2/internal/paillier"
 	"abnn2/internal/prg"
+	"abnn2/internal/ring"
 )
 
 // entry is one corpus file: a sequence of fuzz arguments, all []byte.
@@ -148,4 +151,68 @@ func main() {
 		entry{g.Bytes(ctBytes)},
 	)
 	writeCorpus("internal/paillier/testdata/fuzz/FuzzUnmarshalCiphertext", pailEntries)
+
+	// internal/bank: the durable store's disk parsers. Seed whole valid
+	// images (header + records / header + entries), their torn and
+	// corrupted neighbours, and canonical correlation blobs — the
+	// structured prefixes the mutator needs to reach the deep decode
+	// paths (CRC check, matrix shape bounds, Z1 presence bytes).
+	mat := func(rows, cols int, base uint64) *ring.Mat {
+		m := ring.NewMat(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = ring.Elem(base + uint64(i))
+		}
+		return m
+	}
+	scorr := &core.ServerCorr{Batch: 2, U: []*ring.Mat{mat(3, 2, 10), mat(2, 2, 90)}}
+	ccorr := &core.ClientCorr{Batch: 2, R0: mat(3, 2, 7),
+		V:  []*ring.Mat{mat(3, 2, 40), mat(2, 2, 50)},
+		Z1: []*ring.Mat{nil, mat(2, 2, 60)}}
+	scope := bank.Scope{Key: bank.Key{Model: "seed", Scheme: "4(2,2)",
+		RingBits: 32, Batch: 2, Backend: "corpus"}}
+	seg := bank.AppendSegmentHeader(nil, scope.String())
+	hdrLen := len(seg)
+	seg = bank.AppendSegmentRecord(seg, 1, bank.EncodeServerCorr(scorr))
+	seg = bank.AppendSegmentRecord(seg, 2, bank.EncodeClientCorr(ccorr))
+	crcFlip := append([]byte{}, seg...)
+	crcFlip[hdrLen+8] ^= 0xFF // corrupt the first record's payload
+	segEntries := []entry{
+		{seg},
+		{seg[:len(seg)-5]},  // torn record tail
+		{seg[:hdrLen]},      // header only
+		{seg[:hdrLen-3]},    // torn header
+		{crcFlip},           // complete record, bad checksum
+		{g.Bytes(len(seg))}, // noise at the valid length
+		{[]byte{}},
+	}
+	writeCorpus("internal/bank/testdata/fuzz/FuzzScanSegment", segEntries)
+
+	jn := append([]byte{}, "ABNN2JN1"...)
+	jn = bank.AppendJournalEntry(jn, 0xAB, 1)
+	jn = bank.AppendJournalEntry(jn, 0xCD, 2)
+	jn = bank.AppendJournalEntry(jn, 0xAB, 3)
+	jnFlip := append([]byte{}, jn...)
+	jnFlip[len("ABNN2JN1")+4] ^= 0xFF // corrupt the first entry mid-file
+	jnEntries := []entry{
+		{jn},
+		{jn[:len(jn)-7]}, // torn last entry
+		{jn[:8]},         // header only
+		{jn[:5]},         // torn header
+		{jnFlip},
+		{g.Bytes(len(jn))},
+		{[]byte{}},
+	}
+	writeCorpus("internal/bank/testdata/fuzz/FuzzScanJournal", jnEntries)
+
+	sb := bank.EncodeServerCorr(scorr)
+	cb := bank.EncodeClientCorr(ccorr)
+	pb := bank.EncodePair(scorr, ccorr)
+	corrEntries := []entry{
+		{sb}, {cb}, {pb},
+		{sb[:len(sb)-3]}, // truncated matrix body
+		{cb[:len(cb)-1]}, // truncated Z1 tail
+		{g.Bytes(len(pb))},
+		{[]byte{}},
+	}
+	writeCorpus("internal/bank/testdata/fuzz/FuzzDecodeCorr", corrEntries)
 }
