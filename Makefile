@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench tables ablations accuracy bank bank-durable conformance fuzz corpus chaos loadtest crashtest clean
+.PHONY: all build test vet race bench benchdiff tables ablations accuracy bank bank-durable conformance fuzz corpus chaos loadtest crashtest clean
 
 all: build test
 
@@ -22,6 +22,13 @@ race:
 # Scaled-down benchmark suite (minutes on one core).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Bench regression gate: re-measure the bank split and durable start-up
+# on this machine, normalize away machine speed via the offline-heavy
+# rows, and fail on >20% online-path regression against the checked-in
+# BENCH_*.json baselines (threshold via BENCHDIFF_THRESHOLD).
+benchdiff:
+	GO="$(GO)" scripts/benchdiff.sh
 
 # Full paper tables (can take tens of minutes on one core).
 tables:

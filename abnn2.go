@@ -228,7 +228,7 @@ func newServer(ctx context.Context, conn Conn, model *QuantizedModel, cfg Config
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	sc := newSessionConn(ctx, conn, cfg.RoundTimeout)
+	sc := newSessionConn(ctx, conn, cfg.RoundTimeout, cfg.flightFunc("server"))
 	tr := cfg.tracer(sc, "server")
 	scheme := model.qm.Layers[0].Scheme
 	p := core.Params{Ring: ring.New(cfg.ringBits()), Scheme: scheme, Workers: cfg.Workers, Trace: tr}
@@ -265,6 +265,31 @@ func (c Config) tracer(sc *sessionConn, party string) *trace.Tracer {
 		trace.WithParty(party),
 		trace.WithSession(c.SessionID),
 		trace.WithCounters(sc.counters))
+}
+
+// flightFunc builds this endpoint's wire-flight stamper, nil unless the
+// configured trace sink also consumes flight events. Stamps are derived
+// from monotonic readings against the session epoch, so a wall-clock
+// step mid-session cannot reorder them; timeline reconciliation only
+// needs stamps to be internally consistent per endpoint.
+func (c Config) flightFunc(party string) transport.FlightFunc {
+	fs, ok := c.Trace.(trace.FlightSink)
+	if !ok {
+		return nil
+	}
+	epoch := time.Now()
+	session := c.SessionID
+	return func(dir string, seq int64, n int, at time.Time) {
+		mono := at.Sub(epoch) // monotonic difference, immune to clock steps
+		fs.EmitFlight(trace.Flight{
+			Party:   party,
+			Session: session,
+			Dir:     dir,
+			Seq:     seq,
+			Bytes:   int64(n),
+			Wall:    epoch.Add(mono),
+		})
+	}
 }
 
 // Close releases the server endpoint: it stops the session's
@@ -442,7 +467,7 @@ func DialContext(ctx context.Context, conn Conn, arch Arch, cfg Config) (*Client
 	if err != nil {
 		return nil, fmt.Errorf("abnn2: architecture scheme: %w", err)
 	}
-	sc := newSessionConn(ctx, conn, cfg.RoundTimeout)
+	sc := newSessionConn(ctx, conn, cfg.RoundTimeout, cfg.flightFunc("client"))
 	tr := cfg.tracer(sc, "client")
 	rg := ring.New(cfg.ringBits())
 	p := core.Params{Ring: rg, Scheme: scheme, Workers: cfg.Workers, Trace: tr}

@@ -115,7 +115,10 @@ func main() {
 	}
 
 	// Prefetch: run the genuine two-party offline protocol ahead of need,
-	// storing the client halves under the server's peer id.
+	// storing the client halves under the server's peer id. The initial
+	// fill is synchronous — inference should find the pool warm — and a
+	// background replenisher then keeps it above the low watermark for as
+	// long as the process lives.
 	if *prefetch > 0 {
 		octx, ocancel := context.WithTimeout(context.Background(), *dialTimeout)
 		oconn, oinfo, err := serve.DialOffline(octx, *addr, *model, store.PeerID().String())
@@ -128,7 +131,7 @@ func main() {
 			os.Exit(1)
 		}
 		ocfg := baseCfg
-		ocfg.Bank, ocfg.BankModel = cbank, oinfo.BankID
+		ocfg.Bank, ocfg.BankModel, ocfg.SessionID = cbank, oinfo.BankID, oinfo.SessionID
 		start := time.Now()
 		got, rerr := abnn2.ReplenishSession(octx, oconn, oinfo.Arch, ocfg, serverPeer, *n, *prefetch)
 		oconn.Close()
@@ -139,20 +142,66 @@ func main() {
 		}
 		logger.Info("correlations prefetched", "stored", got, "batch", *n,
 			"dur", time.Since(start).Round(time.Millisecond))
+
+		// Background replenishment: every draw during inference lowers the
+		// pool; the replenisher tops it back up to the prefetch target with
+		// fresh remote offline sessions, so a long-lived client never
+		// degrades to the inline offline phase.
+		low := *prefetch / 2
+		if low < 1 {
+			low = 1
+		}
+		rep, err := abnn2.NewBankReplenisher(abnn2.BankReplenishOptions{
+			Bank: cbank,
+			Peer: serverPeer,
+			Keys: []abnn2.BankKey{{Model: oinfo.BankID, Scheme: oinfo.Arch.SchemeName,
+				RingBits: *ringBits, Batch: *n, Backend: abnn2.BankSessionBackend}},
+			Low:    low,
+			Target: *prefetch,
+			Run: func(ctx context.Context, key abnn2.BankKey, n int) (int, error) {
+				rctx, cancel := context.WithTimeout(ctx, *dialTimeout)
+				defer cancel()
+				rconn, rinfo, err := serve.DialOffline(rctx, *addr, *model, store.PeerID().String())
+				if err != nil {
+					return 0, err
+				}
+				defer rconn.Close()
+				rcfg := baseCfg
+				rcfg.Bank, rcfg.BankModel, rcfg.SessionID = cbank, rinfo.BankID, rinfo.SessionID
+				return abnn2.ReplenishSession(rctx, rconn, rinfo.Arch, rcfg, serverPeer, key.Batch, n)
+			},
+		})
+		if err != nil {
+			logger.Error("bank replenisher", "err", err)
+			os.Exit(1)
+		}
+		rep.Start()
+		defer rep.Close()
+		logger.Info("background replenisher started", "low", low, "target", *prefetch)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
 	defer cancel()
+	dialStart := time.Now()
 	conn, info, err := serve.DialModelInfo(ctx, *addr, *model)
 	if err != nil {
 		dialFailed("connection", err)
 	}
 	defer conn.Close()
+	if traceSink != nil && info.SessionID != 0 {
+		// Record connect + handshake + admission wait as a client-side
+		// "dial" span, so the merged timeline can attribute pre-protocol
+		// time to the admission queue rather than to compute.
+		traceSink.Emit(abnn2.TraceSpan{ID: 1<<62 | info.SessionID, Party: "client",
+			Session: info.SessionID, Name: "dial", Layer: -1,
+			Start: dialStart, Dur: time.Since(dialStart)})
+	}
 	arch := info.Arch
 	fmt.Printf("architecture: %d layers, input %d, output %d, scheme %s\n",
 		len(arch.Layers), arch.InputSize(), arch.OutputSize(), arch.SchemeName)
 
 	cfg := baseCfg
+	cfg.SessionID = info.SessionID
 	if cbank != nil && info.BankID != "" && info.Peer != "" {
 		// Provision from the durable peer-paired pool; a dry pool falls
 		// back to the inline offline phase (OfflineAuto).

@@ -10,6 +10,15 @@
 // the observed counterpart of the projections above, in the shape of
 // the paper's cost tables.
 //
+// With -timeline it merges the JSONL dumps of a session's two endpoints
+// (client and server -trace-out files, comma-separated) into one
+// reconciled cross-party timeline: it estimates the clock offset between
+// the parties from matched wire flights, shifts the client's stamps onto
+// the server clock, and attributes every interval of the session's wall
+// time to compute, wire transit, admission-queue wait, or bank wait —
+// exiting non-zero if the attribution does not tile the wall time within
+// -tolerance.
+//
 // With -bank-audit it instead audits a durable bank store directory's
 // claim journal for double-spent correlation ids — the single-use
 // invariant scripts/crashtest.sh asserts after SIGKILL/restart cycles —
@@ -20,10 +29,12 @@
 //	abnn2-train -out model.json
 //	abnn2-inspect -model model.json -batch 1,32,128 -wan 9,72
 //	abnn2-inspect -trace spans.jsonl
+//	abnn2-inspect -timeline client.jsonl,server.jsonl
 //	abnn2-inspect -bank-audit /var/lib/abnn2
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -44,6 +55,10 @@ func main() {
 	ringBits := flag.Uint("ring", 32, "share ring bit width l")
 	wan := flag.String("wan", "9,72", "WAN model as bandwidthMBps,rttMs")
 	tracePath := flag.String("trace", "", "replay a JSONL span dump instead of projecting a model")
+	timeline := flag.String("timeline", "", "merge comma-separated JSONL dumps (client and server) into a cross-party session timeline")
+	session := flag.Uint64("session", 0, "session id for -timeline (0 = the unique session both parties recorded)")
+	tolerance := flag.Float64("tolerance", 0.01, "allowed fraction of wall time left unattributed by -timeline before failing")
+	jsonOut := flag.Bool("json", false, "emit the -timeline result as JSON instead of a table")
 	bankAudit := flag.String("bank-audit", "", "audit a bank store directory's claim journal for double-spent ids")
 	flag.Parse()
 	log.SetFlags(0)
@@ -51,6 +66,10 @@ func main() {
 
 	if *bankAudit != "" {
 		auditBank(*bankAudit)
+		return
+	}
+	if *timeline != "" {
+		buildTimeline(*timeline, *session, *tolerance, *jsonOut)
 		return
 	}
 	if *tracePath != "" {
@@ -159,6 +178,60 @@ func replayTrace(path string) {
 	}
 	fmt.Printf("\nroot totals: %d B sent, %d B received, %d flights, %d completed batches\n",
 		sent, recvd, flights, batches)
+}
+
+// buildTimeline merges the span/flight dumps named in paths (comma-
+// separated; typically the client's and the server's -trace-out files)
+// and prints the reconciled cross-party timeline of one session. With
+// session == 0 the session is auto-detected: exactly one session must
+// have flights from both parties.
+func buildTimeline(paths string, session uint64, tolerance float64, jsonOut bool) {
+	var spans []trace.Span
+	var flights []trace.Flight
+	for _, p := range strings.Split(paths, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			log.Fatalf("open dump: %v", err)
+		}
+		ss, ff, err := trace.ReadDump(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("parse dump %s: %v", p, err)
+		}
+		spans = append(spans, ss...)
+		flights = append(flights, ff...)
+	}
+	if session == 0 {
+		ids := trace.Sessions(flights)
+		switch len(ids) {
+		case 0:
+			log.Fatalf("no session has flights from both parties (did both endpoints trace with -trace-out?)")
+		case 1:
+			session = ids[0]
+		default:
+			log.Fatalf("%d sessions have flights from both parties (%v); pick one with -session", len(ids), ids)
+		}
+	}
+	tl, err := trace.BuildTimeline(session, spans, flights)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tl); err != nil {
+			log.Fatalf("encode timeline: %v", err)
+		}
+	} else {
+		fmt.Print(trace.FormatTimeline(tl))
+	}
+	if err := tl.Check(tolerance); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func parseWAN(s string) (float64, int, error) {

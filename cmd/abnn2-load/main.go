@@ -95,12 +95,14 @@ func main() {
 			if err != nil {
 				return nil, abnn2.Arch{}, ccfg, err
 			}
-			arch, err := serve.ClientHandshake(conn, pick(names, i))
+			info, err := serve.ClientHandshakeInfo(conn, pick(names, i))
 			if err != nil {
 				conn.Close()
 				return nil, abnn2.Arch{}, ccfg, err
 			}
-			return conn, arch, ccfg, nil
+			cfg := ccfg
+			cfg.SessionID = info.SessionID
+			return conn, info.Arch, cfg, nil
 		}
 		fmt.Printf("mode=tcp addr=%s clients=%d\n", addr, *clients)
 	} else {

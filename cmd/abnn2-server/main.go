@@ -68,8 +68,13 @@ func main() {
 	grace := flag.Duration("grace", 30*time.Second, "drain period for in-flight sessions on shutdown")
 	maxMsg := flag.Int("max-message", 0, "per-message size limit in bytes (0 = default 64 MiB)")
 	offlineMode := flag.String("offline", "auto", "offline provisioning: auto (bank with inline fallback), inline, banked (shed when pools are dry)")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /vars, /healthz, /readyz and /debug/pprof on this address (empty = off)")
-	traceOut := flag.String("trace-out", "", "append protocol spans as JSONL to this file (empty = off)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /vars, /healthz, /readyz, /debug/flightrecorder and /debug/pprof on this address (empty = off)")
+	traceOut := flag.String("trace-out", "", "append protocol spans and flight stamps as JSONL to this file (empty = off)")
+	slo := flag.Duration("slo", 0, "per-session latency SLO; breaches count in abnn2_slo_breaches_total and trigger diagnostics dumps (0 = off)")
+	diagDir := flag.String("diag-dir", "", "write anomaly-triggered flight-recorder dumps (SLO breach, session error, shed) to this directory (empty = off)")
+	diagProfile := flag.Duration("diag-profile", 0, "capture a CPU profile window of this length on each anomaly burst (0 = off; requires -diag-dir)")
+	recorderEvents := flag.Int("recorder-events", abnn2.DefaultRecorderEvents, "flight-recorder ring size per session (0 = disable the recorder)")
+	recorderSessions := flag.Int("recorder-sessions", abnn2.DefaultRecorderSessions, "flight-recorder session rings kept (LRU)")
 	bankCap := flag.Int("bank-capacity", 0, "correlation pool capacity per (model, batch) (0 = bank off); "+
 		"pools serve co-located clients sharing this process's bank — see DESIGN.md")
 	bankLow := flag.Int("bank-low", 0, "pool low watermark triggering background refill (0 = capacity/2)")
@@ -176,6 +181,20 @@ func main() {
 		logger.Info("correlation bank up", "capacity", *bankCap, "models", registry.Len())
 	}
 
+	// Flight recorder and anomaly diagnostics: the recorder is always on
+	// (a bounded in-memory ring per session) unless sized to zero; the
+	// diagnostics directory turns anomalies into on-disk dumps.
+	var recorder *abnn2.FlightRecorder
+	if *recorderEvents > 0 {
+		recorder = abnn2.NewFlightRecorder(*recorderEvents, *recorderSessions)
+	}
+	if *diagDir != "" {
+		if err := os.MkdirAll(*diagDir, 0o755); err != nil {
+			logger.Error("create diagnostics dir", "dir", *diagDir, "err", err)
+			os.Exit(1)
+		}
+	}
+
 	rt, err := serve.New(serve.Options{
 		Registry:         registry,
 		Bank:             corrBank,
@@ -189,8 +208,12 @@ func main() {
 			Trace:         traceSink,
 			OfflineMode:   mode,
 		},
-		Metrics: serveMetrics,
-		Logger:  logger,
+		Metrics:     serveMetrics,
+		Logger:      logger,
+		Recorder:    recorder,
+		SLO:         *slo,
+		DiagDir:     *diagDir,
+		DiagProfile: *diagProfile,
 	})
 	if err != nil {
 		logger.Error("serve runtime", "err", err)
@@ -222,6 +245,7 @@ func main() {
 		mux.Handle("/vars", reg.JSONHandler())
 		mux.Handle("/healthz", rt.HealthzHandler())
 		mux.Handle("/readyz", rt.ReadyzHandler())
+		mux.Handle("/debug/flightrecorder", rt.FlightRecorderHandler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -26,6 +26,7 @@ import "abnn2/internal/metrics"
 //	abnn2_bank_persist_journal_fsyncs_total  journal fsync barriers
 //	abnn2_bank_persist_recovered_records     records available after recovery
 //	abnn2_bank_persist_quarantined_total     corrupt segments/dirs quarantined
+//	abnn2_bank_persist_pruned_total          fully-claimed segment files deleted
 //	abnn2_bank_persist_restored_total        dealer pairs reloaded at startup
 //	abnn2_bank_persist_errors_total          store append/claim/decode failures
 //	abnn2_bank_replenish_rounds_total        remote offline rounds completed
@@ -54,6 +55,7 @@ func NewMetricsObserver(r *metrics.Registry) Observer {
 		fsyncs:          r.NewCounter("abnn2_bank_persist_journal_fsyncs_total", "Claim-journal fsync barriers."),
 		recovered:       r.NewGauge("abnn2_bank_persist_recovered_records", "Records available after the startup recovery scan."),
 		quarantined:     r.NewCounter("abnn2_bank_persist_quarantined_total", "Corrupt segments or pool dirs quarantined during recovery."),
+		pruned:          r.NewCounter("abnn2_bank_persist_pruned_total", "Fully-claimed segment files deleted during recovery or drain."),
 		restored:        r.NewCounter("abnn2_bank_persist_restored_total", "Persisted dealer pairs reloaded into pools at startup."),
 		persistErrs:     r.NewCounter("abnn2_bank_persist_errors_total", "Durable-store append/claim/decode failures."),
 		replenishRounds: r.NewCounter("abnn2_bank_replenish_rounds_total", "Remote offline replenishment rounds completed."),
@@ -81,6 +83,7 @@ type metricsObserver struct {
 	fsyncs          *metrics.Counter
 	recovered       *metrics.Gauge
 	quarantined     *metrics.Counter
+	pruned          *metrics.Counter
 	restored        *metrics.Counter
 	persistErrs     *metrics.Counter
 	replenishRounds *metrics.Counter
@@ -127,6 +130,8 @@ func (m *metricsObserver) BankEvent(ev Event) {
 		m.recovered.Set(int64(ev.Depth))
 	case "persist-quarantine":
 		m.quarantined.Inc()
+	case "persist-prune":
+		m.pruned.Inc()
 	case "restore":
 		m.restored.Inc()
 	case "persist-error", "persist-claim-drop", "persist-decode-error":

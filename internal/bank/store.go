@@ -82,6 +82,7 @@ type RecoverStats struct {
 	Claimed     int // journal entries applied
 	TornTails   int // segment/journal tails truncated
 	Quarantined int // segment files or pool dirs quarantined
+	Pruned      int // fully-claimed segment files deleted
 }
 
 // ErrNotRecovered is returned by store operations before Recover has
@@ -99,6 +100,19 @@ type scopeState struct {
 	avail    []uint64 // unclaimed record ids, file order
 	recs     map[uint64][]byte
 	claimed  map[uint64]bool
+	segs     []*segmentInfo // every live segment file and the ids it holds
+	active   *segmentInfo   // the file behind seg; never pruned
+}
+
+// segmentInfo tracks which record ids one segment file holds, so the
+// store can delete the file once every one of them has been claimed —
+// the pruning that stops the bank directory from growing monotonically.
+// ids lists every record parsed from or appended to the file, duplicate
+// appends included, which makes pruning conservative: a file is removed
+// only when no id it mentions is still servable.
+type segmentInfo struct {
+	path string
+	ids  []uint64
 }
 
 // StoreRecord is one available (unclaimed) record, as returned by
@@ -296,6 +310,7 @@ func (s *Store) recoverPools(claims map[uint64]map[uint64]bool, st *RecoverStats
 			}
 		}
 		sc.avail = live
+		st.Pruned += s.pruneLocked(sc)
 		s.scopes[sc.hash] = sc
 		st.Scopes++
 		st.Records += len(sc.avail)
@@ -345,6 +360,7 @@ func (s *Store) recoverPoolDir(dir, name string, st *RecoverStats) (*scopeState,
 			s.quarantine(path, st)
 			continue
 		}
+		si := &segmentInfo{path: path}
 		hdrScope, recs, keep, serr := scanSegment(data)
 		switch {
 		case serr == errTorn:
@@ -354,7 +370,9 @@ func (s *Store) recoverPoolDir(dir, name string, st *RecoverStats) (*scopeState,
 				continue
 			}
 			if keep == 0 {
-				// Crashed before the header landed: nothing usable.
+				// Crashed before the header landed: nothing usable, and
+				// the empty file is prunable.
+				sc.segs = append(sc.segs, si)
 				continue
 			}
 		case serr != nil:
@@ -367,12 +385,14 @@ func (s *Store) recoverPoolDir(dir, name string, st *RecoverStats) (*scopeState,
 		}
 		st.Segments++
 		for _, r := range recs {
+			si.ids = append(si.ids, r.id)
 			if _, dup := sc.recs[r.id]; dup {
 				continue // replay of an earlier append; first wins
 			}
 			sc.recs[r.id] = r.blob
 			sc.avail = append(sc.avail, r.id)
 		}
+		sc.segs = append(sc.segs, si)
 	}
 	return sc, true
 }
@@ -464,6 +484,9 @@ func (s *Store) Append(scope Scope, id uint64, blob []byte) error {
 		return fmt.Errorf("bank: segment append: %w", err)
 	}
 	sc.segSize += int64(len(rec))
+	if sc.active != nil {
+		sc.active.ids = append(sc.active.ids, id)
+	}
 	stored := make([]byte, len(blob))
 	copy(stored, blob)
 	sc.recs[id] = stored
@@ -492,16 +515,20 @@ func (s *Store) openSegment(sc *scopeState) error {
 		return fmt.Errorf("bank: segment header: %w", err)
 	}
 	sc.seg, sc.segSize = f, int64(len(hdr))
+	sc.active = &segmentInfo{path: path}
+	sc.segs = append(sc.segs, sc.active)
 	s.observe(Event{Kind: "persist-segment", Key: sc.scope.Key})
 	return nil
 }
 
 // rotateSegment fsyncs and closes the active segment; the next Append
-// opens a new one.
+// opens a new one. A closed segment becomes eligible for pruning once
+// its every record is claimed.
 func (s *Store) rotateSegment(sc *scopeState) error {
 	if sc.seg == nil {
 		return nil
 	}
+	sc.active = nil
 	if err := sc.seg.Sync(); err != nil {
 		sc.seg.Close()
 		sc.seg = nil
@@ -510,6 +537,42 @@ func (s *Store) rotateSegment(sc *scopeState) error {
 	err := sc.seg.Close()
 	sc.seg = nil
 	return err
+}
+
+// pruneLocked deletes the scope's fully-claimed closed segment files and
+// returns how many it removed. A file is dead when none of the record
+// ids it holds is still servable (present in sc.recs); the active
+// segment is never touched. Deleting a dead file cannot resurrect an id:
+// the claim journal — which is what enforces single-use — is append-only
+// and keeps its entries forever.
+func (s *Store) pruneLocked(sc *scopeState) int {
+	pruned := 0
+	kept := sc.segs[:0]
+	for _, seg := range sc.segs {
+		dead := seg != sc.active
+		for _, id := range seg.ids {
+			if _, live := sc.recs[id]; live {
+				dead = false
+				break
+			}
+		}
+		if !dead {
+			kept = append(kept, seg)
+			continue
+		}
+		if err := os.Remove(seg.path); err != nil {
+			kept = append(kept, seg) // retried on the next prune pass
+			continue
+		}
+		pruned++
+		s.observe(Event{Kind: "persist-prune", Key: sc.scope.Key})
+	}
+	// Drop the released tail so kept/segs never alias stale entries.
+	for i := len(kept); i < len(sc.segs); i++ {
+		sc.segs[i] = nil
+	}
+	sc.segs = kept
+	return pruned
 }
 
 // claimLocked journals a claim and applies it in memory. The in-memory
@@ -657,6 +720,10 @@ func (s *Store) Sync() error {
 				first = err
 			}
 		}
+		// Drain doubles as cleanup: closed segments whose records have
+		// all been claimed are deleted here, so the directory shrinks on
+		// every graceful shutdown as well as on recovery.
+		s.pruneLocked(sc)
 	}
 	return first
 }

@@ -48,6 +48,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			pf("%s_bucket{le=\"+Inf\"} %d\n", m.name, count)
 			pf("%s_sum %s\n%s_count %d\n", m.name, formatFloat(sum), m.name, count)
+		case *HistogramVec:
+			pf("# HELP %s %s\n# TYPE %s histogram\n", m.name, m.help, m.name)
+			vals, hs := it.children()
+			for i, v := range vals {
+				lbl := fmt.Sprintf("%s=%s", it.label, strconv.Quote(v))
+				bounds, cum, sum, count := hs[i].snapshot()
+				for j, b := range bounds {
+					pf("%s_bucket{%s,le=%q} %d\n", m.name, lbl, formatFloat(b), cum[j])
+				}
+				pf("%s_bucket{%s,le=\"+Inf\"} %d\n", m.name, lbl, count)
+				pf("%s_sum{%s} %s\n%s_count{%s} %d\n", m.name, lbl, formatFloat(sum), m.name, lbl, count)
+			}
 		}
 	})
 	return err
@@ -95,6 +107,18 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				buckets[formatFloat(b)] = cum[i]
 			}
 			doc[m.name] = map[string]any{"count": count, "sum": sum, "buckets": buckets}
+		case *HistogramVec:
+			kids := make(map[string]any)
+			vals, hs := it.children()
+			for i, v := range vals {
+				bounds, cum, sum, count := hs[i].snapshot()
+				buckets := make(map[string]uint64, len(bounds))
+				for j, b := range bounds {
+					buckets[formatFloat(b)] = cum[j]
+				}
+				kids[v] = map[string]any{"count": count, "sum": sum, "buckets": buckets}
+			}
+			doc[m.name] = kids
 		}
 	})
 	enc := json.NewEncoder(w)

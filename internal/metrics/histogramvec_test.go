@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramVecChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("test_latency_seconds", "help", "model", []float64{0.1, 1})
+	v.With("mnist").Observe(0.05)
+	v.With("mnist").Observe(0.5)
+	v.With("cnn").Observe(5)
+
+	labels, kids := v.children()
+	if len(labels) != 2 || labels[0] != "mnist" || labels[1] != "cnn" {
+		t.Fatalf("labels = %v, want [mnist cnn] in first-seen order", labels)
+	}
+	_, cum, sum, count := kids[0].snapshot()
+	if count != 2 || cum[0] != 1 || cum[1] != 2 {
+		t.Fatalf("mnist child: cum=%v count=%d", cum, count)
+	}
+	if sum != 0.55 {
+		t.Fatalf("mnist sum = %v, want 0.55", sum)
+	}
+	// Children share bounds but not counts.
+	if _, _, _, c := kids[1].snapshot(); c != 1 {
+		t.Fatalf("cnn count = %d, want 1", c)
+	}
+}
+
+func TestHistogramVecPrometheus(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("test_latency_seconds", "help", "model", []float64{0.5, 1})
+	v.With("mnist").Observe(0.25)
+	v.With("mnist").Observe(3)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{model="mnist",le="0.5"} 1`,
+		`test_latency_seconds_bucket{model="mnist",le="+Inf"} 2`,
+		`test_latency_seconds_sum{model="mnist"} 3.25`,
+		`test_latency_seconds_count{model="mnist"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramVecJSON(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("test_latency_seconds", "help", "model", []float64{1})
+	v.With("mnist").Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	child := doc["test_latency_seconds"].(map[string]any)["mnist"].(map[string]any)
+	if child["count"].(float64) != 1 || child["sum"].(float64) != 0.5 {
+		t.Fatalf("mnist child = %v", child)
+	}
+}
+
+func TestHistogramVecPanics(t *testing.T) {
+	r := NewRegistry()
+	for name, bounds := range map[string][]float64{
+		"empty":    {},
+		"unsorted": {1, 0.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds did not panic", name)
+				}
+			}()
+			r.NewHistogramVec("test_"+name, "help", "model", bounds)
+		}()
+	}
+}
+
+func TestHistogramVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("test_latency_seconds", "help", "model", []float64{1})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := string(rune('a' + g%3))
+			for i := 0; i < 200; i++ {
+				v.With(name).Observe(0.5)
+			}
+		}(g)
+	}
+	wg.Wait()
+	_, kids := v.children()
+	var total uint64
+	for _, h := range kids {
+		_, _, _, c := h.snapshot()
+		total += c
+	}
+	if total != 1600 {
+		t.Fatalf("total observations = %d, want 1600", total)
+	}
+}

@@ -219,11 +219,48 @@ func (v *GaugeVec) children() ([]string, []*Gauge) {
 	return vals, gs
 }
 
+// HistogramVec is a family of histograms distinguished by one label,
+// sharing one bucket ladder (e.g. session latency per model).
+type HistogramVec struct {
+	label  string
+	bounds []float64
+	mu     sync.Mutex
+	kids   map[string]*Histogram
+	order  []string
+}
+
+// With returns the child histogram for the given label value, creating
+// it on first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.kids[value]
+	if !ok {
+		h = &Histogram{bounds: v.bounds, counts: make([]uint64, len(v.bounds)+1)}
+		v.kids[value] = h
+		v.order = append(v.order, value)
+	}
+	return h
+}
+
+// children returns (label values, histograms) in first-use order.
+func (v *HistogramVec) children() ([]string, []*Histogram) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	vals := make([]string, len(v.order))
+	copy(vals, v.order)
+	hs := make([]*Histogram, len(vals))
+	for i, val := range vals {
+		hs[i] = v.kids[val]
+	}
+	return vals, hs
+}
+
 // metric couples a registered metric with its metadata.
 type metric struct {
 	name string
 	help string
-	item any // *Counter | *Gauge | *Histogram | *CounterVec | *GaugeVec
+	item any // *Counter | *Gauge | *Histogram | *CounterVec | *GaugeVec | *HistogramVec
 }
 
 // Registry holds named metrics and renders them for export. The zero
@@ -287,6 +324,17 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram 
 // NewCounterVec registers and returns a single-label counter family.
 func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
 	v := &CounterVec{label: label, kids: make(map[string]*Counter)}
+	r.register(name, help, v)
+	return v
+}
+
+// NewHistogramVec registers and returns a single-label histogram family
+// with a shared bucket ladder.
+func (r *Registry) NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if len(bounds) == 0 || !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("metrics: histogram family %q needs sorted non-empty buckets", name))
+	}
+	v := &HistogramVec{label: label, bounds: bounds, kids: make(map[string]*Histogram)}
 	r.register(name, help, v)
 	return v
 }

@@ -208,6 +208,14 @@ func TestChaosServeSlowLoris(t *testing.T) {
 			t.Fatalf("slow-loris connection still parked:\n%s", buf[:n])
 		}
 	}
+	// The honest session's server goroutine releases its slot a beat
+	// after the client hangs up — settle before asserting, as above. A
+	// loris that really claimed a slot would never release it and still
+	// trips the deadline.
+	deadline := time.Now().Add(15 * time.Second)
+	for rt.Admission().Active() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
 	if active := rt.Admission().Active(); active != 0 {
 		t.Errorf("loris pack holds %d session slots", active)
 	}

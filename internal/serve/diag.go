@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"abnn2/internal/trace"
+)
+
+// Anomaly-triggered diagnostics: the runtime keeps an always-on flight
+// recorder (trace.Recorder) per session; when a session breaches the
+// latency SLO, ends with an error, or a connection is shed, the
+// diagnostics component dumps that session's recorded events to the
+// diagnostics directory — so the evidence for a slow or failed session
+// is on disk before anyone asks, without ever tracing at full fidelity.
+// Dumps contain metadata only (names, sizes, timings), never shares,
+// keys, or payload bytes.
+
+// maxDiagDumps bounds dumps per process: an anomaly storm (a dead bank,
+// a flapping client) must not fill the disk with near-identical dumps.
+// Suppressed dumps are still counted in abnn2_diag_suppressed_total.
+const maxDiagDumps = 64
+
+// diagnostics writes anomaly dumps. A nil *diagnostics disables every
+// method.
+type diagnostics struct {
+	dir     string
+	rec     *trace.Recorder
+	profile time.Duration // CPU profile window per anomaly, 0 = off
+	m       *Metrics
+	log     *slog.Logger
+
+	dumps     atomic.Int64
+	profiling atomic.Bool
+	wg        sync.WaitGroup
+}
+
+// diagDump is the JSON document written per anomaly.
+type diagDump struct {
+	Time      time.Time             `json:"time"`
+	Reason    string                `json:"reason"` // "slo-breach" | "error" | "shed"
+	Session   uint64                `json:"session,omitempty"`
+	Model     string                `json:"model,omitempty"`
+	Remote    string                `json:"remote,omitempty"`
+	ElapsedMS int64                 `json:"elapsed_ms,omitempty"`
+	SLOMS     int64                 `json:"slo_ms,omitempty"`
+	Err       string                `json:"err,omitempty"`
+	Dropped   int64                 `json:"events_dropped,omitempty"`
+	Events    []trace.RecorderEvent `json:"events,omitempty"`
+}
+
+func newDiagnostics(dir string, rec *trace.Recorder, profile time.Duration, m *Metrics, log *slog.Logger) *diagnostics {
+	if dir == "" {
+		return nil
+	}
+	return &diagnostics{dir: dir, rec: rec, profile: profile, m: m, log: log}
+}
+
+// sessionAnomaly dumps one session's recorder ring. reason is
+// "slo-breach" or "error".
+func (d *diagnostics) sessionAnomaly(reason string, session uint64, model, remote string, elapsed, slo time.Duration, err error) {
+	if d == nil {
+		return
+	}
+	dump := diagDump{
+		Time: time.Now(), Reason: reason, Session: session,
+		Model: model, Remote: remote,
+		ElapsedMS: elapsed.Milliseconds(), SLOMS: slo.Milliseconds(),
+	}
+	if err != nil {
+		dump.Err = err.Error()
+	}
+	dump.Events, dump.Dropped = d.rec.Session(session)
+	d.write(dump)
+	d.startProfile()
+}
+
+// shed dumps a rejection. Sheds happen before a session exists, so there
+// is no recorder ring to attach — the dump documents the rejection
+// itself, giving the diagnostics directory one timeline of everything
+// that went wrong on this server.
+func (d *diagnostics) shed(rej Rejection, remote string) {
+	if d == nil {
+		return
+	}
+	d.write(diagDump{
+		Time: time.Now(), Reason: "shed", Remote: remote,
+		Err: fmt.Sprintf("%s: %s", rej.Code, rej.Reason),
+	})
+}
+
+func (d *diagnostics) write(dump diagDump) {
+	if n := d.dumps.Add(1); n > maxDiagDumps {
+		d.m.diagSuppressed()
+		return
+	}
+	raw, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		d.log.Warn("diag dump encode failed", "err", err)
+		return
+	}
+	name := fmt.Sprintf("diag-%s-%d-session-%d.json",
+		dump.Reason, dump.Time.UnixNano(), dump.Session)
+	path := filepath.Join(d.dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		d.log.Warn("diag dump write failed", "path", path, "err", err)
+		return
+	}
+	d.m.diagDump()
+	d.log.Info("diagnostics dump written", "path", path, "reason", dump.Reason, "session", dump.Session)
+}
+
+// startProfile captures one CPU profile window per anomaly burst: the
+// first trigger wins, later triggers while a window is open are no-ops
+// (runtime/pprof supports one CPU profile at a time anyway).
+func (d *diagnostics) startProfile() {
+	if d.profile <= 0 || !d.profiling.CompareAndSwap(false, true) {
+		return
+	}
+	path := filepath.Join(d.dir, fmt.Sprintf("diag-cpu-%d.pprof", time.Now().UnixNano()))
+	f, err := os.Create(path)
+	if err != nil {
+		d.log.Warn("diag profile create failed", "path", path, "err", err)
+		d.profiling.Store(false)
+		return
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another profiler (the pprof HTTP endpoint) is already running.
+		d.log.Warn("diag profile start failed", "err", err)
+		f.Close()
+		os.Remove(path)
+		d.profiling.Store(false)
+		return
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		time.Sleep(d.profile)
+		pprof.StopCPUProfile()
+		f.Close()
+		d.profiling.Store(false)
+		d.log.Info("diagnostics CPU profile written", "path", path, "window", d.profile)
+	}()
+}
+
+// wait blocks until in-flight profile windows finish; Drain calls it so
+// shutdown does not abandon a half-written profile.
+func (d *diagnostics) wait() {
+	if d != nil {
+		d.wg.Wait()
+	}
+}
+
+// FlightRecorderHandler serves the always-on per-session flight recorder
+// (mount at /debug/flightrecorder on the metrics listener). Without
+// parameters it lists recorded session ids; with ?session=N it returns
+// that session's ring as JSON, oldest event first.
+func (rt *Runtime) FlightRecorderHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := rt.recorder
+		if rec == nil {
+			http.Error(w, "flight recorder disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		q := r.URL.Query().Get("session")
+		if q == "" {
+			_ = json.NewEncoder(w).Encode(map[string]any{"sessions": rec.Sessions()})
+			return
+		}
+		id, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "bad session id", http.StatusBadRequest)
+			return
+		}
+		events, dropped := rec.Session(id)
+		if events == nil {
+			http.Error(w, "unknown session", http.StatusNotFound)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"session": id, "events_dropped": dropped, "events": events,
+		})
+	})
+}

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"time"
+
 	"abnn2/internal/metrics"
 )
 
@@ -19,6 +21,15 @@ type Metrics struct {
 	OfflineTotal   *metrics.Counter // admitted remote offline-replenishment sessions
 	OfflineFailed  *metrics.Counter // offline sessions that ended with an error
 	Ready          *metrics.Gauge   // 1 when /readyz answers 200
+
+	// SLO burn-rate series (PR 9): every finished inference session
+	// counts toward SLOSessions; sessions slower than the configured SLO
+	// count toward SLOBreaches, so breach/session is the burn rate.
+	SLOSessions    *metrics.Counter      // sessions measured against the latency SLO
+	SLOBreaches    *metrics.CounterVec   // SLO-breaching sessions, by model
+	SessionLatency *metrics.HistogramVec // end-to-end session latency, by model
+	DiagDumps      *metrics.Counter      // anomaly-triggered flight-recorder dumps written
+	DiagSuppressed *metrics.Counter      // anomaly dumps suppressed by the dump cap
 }
 
 // NewMetrics registers the serving series on r.
@@ -35,6 +46,11 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 		OfflineTotal:   r.NewCounter("abnn2_serve_offline_sessions_total", "Admitted remote offline-replenishment sessions."),
 		OfflineFailed:  r.NewCounter("abnn2_serve_offline_sessions_failed_total", "Remote offline-replenishment sessions that ended with an error."),
 		Ready:          r.NewGauge("abnn2_serve_ready", "Whether the runtime reports ready (prewarm done, not draining)."),
+		SLOSessions:    r.NewCounter("abnn2_slo_sessions_total", "Inference sessions measured against the latency SLO."),
+		SLOBreaches:    r.NewCounterVec("abnn2_slo_breaches_total", "Inference sessions that breached the latency SLO, by model.", "model"),
+		SessionLatency: r.NewHistogramVec("abnn2_session_latency_seconds", "End-to-end inference session latency, by model.", "model", metrics.DurationBuckets),
+		DiagDumps:      r.NewCounter("abnn2_diag_dumps_total", "Anomaly-triggered flight-recorder dumps written to the diagnostics directory."),
+		DiagSuppressed: r.NewCounter("abnn2_diag_suppressed_total", "Anomaly dumps suppressed by the per-process dump cap."),
 	}
 }
 
@@ -97,6 +113,34 @@ func (m *Metrics) offlineEnd(err error) {
 	m.SessionsActive.Add(-1)
 	if err != nil {
 		m.OfflineFailed.Inc()
+	}
+}
+
+// observeSession records a finished inference session's latency and its
+// SLO outcome. slo <= 0 disables breach accounting but still feeds the
+// latency histogram.
+func (m *Metrics) observeSession(model string, elapsed, slo time.Duration) {
+	if m == nil {
+		return
+	}
+	m.SessionLatency.With(model).Observe(elapsed.Seconds())
+	if slo > 0 {
+		m.SLOSessions.Inc()
+		if elapsed > slo {
+			m.SLOBreaches.With(model).Inc()
+		}
+	}
+}
+
+func (m *Metrics) diagDump() {
+	if m != nil {
+		m.DiagDumps.Inc()
+	}
+}
+
+func (m *Metrics) diagSuppressed() {
+	if m != nil {
+		m.DiagSuppressed.Inc()
 	}
 }
 

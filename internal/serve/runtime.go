@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"abnn2"
+	"abnn2/internal/trace"
 )
 
 // Options configures a Runtime.
@@ -42,6 +43,23 @@ type Options struct {
 	Metrics *Metrics
 	// Logger receives structured serve-layer logs; nil discards them.
 	Logger *slog.Logger
+	// Recorder, when non-nil, is the always-on per-session flight
+	// recorder: the runtime tees every session's spans and flights into
+	// it (alongside Session.Trace) and serves it at
+	// /debug/flightrecorder via FlightRecorderHandler. Anomaly triggers
+	// dump its rings to DiagDir.
+	Recorder *trace.Recorder
+	// SLO is the per-session latency objective. Sessions slower than it
+	// bump the abnn2_slo_* burn-rate series and — with DiagDir set —
+	// trigger a flight-recorder dump. 0 disables SLO accounting.
+	SLO time.Duration
+	// DiagDir, when non-empty, enables anomaly-triggered diagnostics:
+	// SLO breaches, session errors, and sheds dump the session's
+	// recorder ring there as JSON. The directory must exist.
+	DiagDir string
+	// DiagProfile, when positive, additionally captures one CPU profile
+	// window of that length per anomaly burst into DiagDir.
+	DiagProfile time.Duration
 }
 
 // retry hints for sheds whose wait is not slot-bound: a draining server
@@ -63,6 +81,9 @@ type Runtime struct {
 	session   abnn2.Config
 	m         *Metrics
 	log       *slog.Logger
+	recorder  *trace.Recorder
+	slo       time.Duration
+	diag      *diagnostics
 
 	nextSession atomic.Uint64
 	prewarmed   atomic.Bool
@@ -104,7 +125,15 @@ func New(opts Options) (*Runtime, error) {
 		session:   opts.Session,
 		m:         opts.Metrics,
 		log:       log,
+		recorder:  opts.Recorder,
+		slo:       opts.SLO,
 	}
+	if rt.recorder != nil {
+		// Tee every session's spans and flights into the recorder; Multi
+		// forwards flights to the members that consume them.
+		rt.session.Trace = trace.Multi(rt.session.Trace, rt.recorder)
+	}
+	rt.diag = newDiagnostics(opts.DiagDir, rt.recorder, opts.DiagProfile, opts.Metrics, log)
 	if rt.bank != nil {
 		for _, name := range rt.reg.Names() {
 			m, _ := rt.reg.Get(name)
@@ -247,6 +276,9 @@ func (rt *Runtime) Drain(ctx context.Context) error {
 	store := rt.store
 	rt.mu.Unlock()
 	rt.m.setReady(false)
+	// In-flight diagnostics profile windows must finish before the
+	// process exits, or the profile file is truncated mid-write.
+	defer rt.diag.wait()
 	// Flush the claim journal even when sessions outlive the deadline: an
 	// abandoned drain must not leave claims in OS buffers.
 	if store != nil {
@@ -298,7 +330,8 @@ func (rt *Runtime) HandleConn(ctx context.Context, conn abnn2.Conn, remote strin
 	defer rt.untrackConn()
 	defer conn.Close()
 	rt.m.handshake()
-	_ = conn.SetDeadline(time.Now().Add(rt.hsTimeout))
+	hsStart := time.Now()
+	_ = conn.SetDeadline(hsStart.Add(rt.hsTimeout))
 
 	raw, err := conn.Recv()
 	if err != nil {
@@ -329,7 +362,11 @@ func (rt *Runtime) HandleConn(ctx context.Context, conn abnn2.Conn, remote strin
 	}
 	defer release()
 
-	hr := helloReply{OK: true, Model: model.Name, Arch: model.ArchJSON}
+	// The session id is assigned before the reply so it can ride in it:
+	// the client stamps its spans and flights with the server's id,
+	// which is what lets -timeline merge the two dumps.
+	id := rt.nextSession.Add(1)
+	hr := helloReply{OK: true, Model: model.Name, Arch: model.ArchJSON, Session: id}
 	if rt.bank != nil && rt.bank.Store() != nil {
 		hr.BankID, hr.Peer = model.BankID, rt.bank.Store().PeerID().String()
 	}
@@ -346,28 +383,54 @@ func (rt *Runtime) HandleConn(ctx context.Context, conn abnn2.Conn, remote strin
 	// arms per-round deadlines from Config.RoundTimeout).
 	_ = conn.SetDeadline(time.Time{})
 
-	id := rt.nextSession.Add(1)
 	if degraded {
 		rt.m.degraded()
 		rt.log.Info("admitted degraded (pools dry, inline offline)",
 			"session", id, "model", model.Name, "remote", remote)
 	}
+	rt.emitAdmission(id, hsStart)
 	cfg := rt.session
 	cfg.SessionID = id
 	cfg.Bank = rt.bank
 	rt.m.sessionStart(model.Name)
 	start := time.Now()
 	stats, err := abnn2.ServeContext(ctx, conn, model.Quant, cfg)
+	elapsed := time.Since(start)
 	rt.m.sessionEnd(err)
+	rt.m.observeSession(model.Name, elapsed, rt.slo)
 	if err != nil {
+		rt.diag.sessionAnomaly("error", id, model.Name, remote, elapsed, rt.slo, err)
 		rt.log.Error("session failed", "session", id, "model", model.Name, "remote", remote,
 			"err", err, "bytes_sent", stats.BytesAB, "bytes_recvd", stats.BytesBA)
 		return err
 	}
+	if rt.slo > 0 && elapsed > rt.slo {
+		rt.diag.sessionAnomaly("slo-breach", id, model.Name, remote, elapsed, rt.slo, nil)
+		rt.log.Warn("session breached latency SLO", "session", id, "model", model.Name,
+			"remote", remote, "elapsed", elapsed.Round(time.Millisecond), "slo", rt.slo)
+	}
 	rt.log.Info("session done", "session", id, "model", model.Name, "remote", remote,
 		"bytes_sent", stats.BytesAB, "bytes_recvd", stats.BytesBA,
-		"dur", time.Since(start).Round(time.Millisecond))
+		"dur", elapsed.Round(time.Millisecond))
 	return nil
+}
+
+// syntheticSpanBase offsets hand-built span ids (admission, dial) away
+// from the per-session tracer's small sequential ids.
+const syntheticSpanBase = uint64(1) << 62
+
+// emitAdmission records the handshake+admission window as a root span on
+// the session trace, so timeline reconciliation can attribute the
+// pre-protocol wait to the queue class.
+func (rt *Runtime) emitAdmission(id uint64, hsStart time.Time) {
+	if rt.session.Trace == nil {
+		return
+	}
+	rt.session.Trace.Emit(trace.Span{
+		ID: syntheticSpanBase | id, Party: "server", Session: id,
+		Name: "admission", Layer: -1,
+		Start: hsStart, Dur: time.Since(hsStart),
+	})
 }
 
 // handleOffline serves a remote offline-replenishment session: the
@@ -419,8 +482,9 @@ func (rt *Runtime) handleOffline(ctx context.Context, conn abnn2.Conn, remote st
 	}
 	defer release()
 
+	id := rt.nextSession.Add(1)
 	reply, err := json.Marshal(helloReply{OK: true, Model: model.Name, Arch: model.ArchJSON,
-		BankID: model.BankID, Peer: rt.bank.Store().PeerID().String()})
+		BankID: model.BankID, Peer: rt.bank.Store().PeerID().String(), Session: id})
 	if err != nil {
 		return err
 	}
@@ -431,7 +495,6 @@ func (rt *Runtime) handleOffline(ctx context.Context, conn abnn2.Conn, remote st
 	}
 	_ = conn.SetDeadline(time.Time{})
 
-	id := rt.nextSession.Add(1)
 	cfg := rt.session
 	cfg.SessionID = id
 	cfg.Bank = rt.bank
@@ -440,6 +503,7 @@ func (rt *Runtime) handleOffline(ctx context.Context, conn abnn2.Conn, remote st
 	err = abnn2.ServeOfflineSession(ctx, conn, model.Quant, cfg, peer)
 	rt.m.offlineEnd(err)
 	if err != nil {
+		rt.diag.sessionAnomaly("error", id, model.Name, remote, time.Since(start), 0, err)
 		rt.log.Error("offline session failed", "session", id, "model", model.Name,
 			"remote", remote, "peer", h.Peer, "err", err)
 		return err
@@ -511,6 +575,7 @@ func (rt *Runtime) bankDepth(m *Model) int {
 // same *RejectError this returns.
 func (rt *Runtime) reject(conn abnn2.Conn, remote string, rej Rejection) error {
 	rt.m.shed(rej)
+	rt.diag.shed(rej, remote)
 	rt.log.Warn("shed", "remote", remote, "code", rej.Code,
 		"retryable", rej.Retryable, "retry_after_ms", rej.RetryAfterMillis)
 	if reply, err := json.Marshal(helloReply{OK: false, Reject: &rej}); err == nil {

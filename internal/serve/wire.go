@@ -58,7 +58,11 @@ type helloReply struct {
 	Arch   json.RawMessage `json:"arch,omitempty"`
 	BankID string          `json:"bank_id,omitempty"`
 	Peer   string          `json:"peer,omitempty"`
-	Reject *Rejection      `json:"reject,omitempty"`
+	// Session is the server-assigned session id. Clients stamp their
+	// spans and flights with it so the two parties' dumps merge into one
+	// timeline (abnn2-inspect -timeline).
+	Session uint64     `json:"session,omitempty"`
+	Reject  *Rejection `json:"reject,omitempty"`
 }
 
 // Rejection codes. Saturated, bank-dry and draining are retryable: the
@@ -120,6 +124,10 @@ type HandshakeInfo struct {
 	Arch   abnn2.Arch
 	BankID string
 	Peer   string
+	// SessionID is the server-assigned session id; set it as
+	// abnn2.Config.SessionID so client-side spans and flights correlate
+	// with the server's dump of the same session.
+	SessionID uint64
 }
 
 // ClientHandshake performs one handshake attempt on an established
@@ -130,6 +138,13 @@ type HandshakeInfo struct {
 func ClientHandshake(conn abnn2.Conn, model string) (abnn2.Arch, error) {
 	info, err := clientHandshakeInfo(conn, hello{V: helloVersion, Model: model})
 	return info.Arch, err
+}
+
+// ClientHandshakeInfo is ClientHandshake returning the full handshake
+// info (bank identity, server peer ID, session id) on an established
+// connection.
+func ClientHandshakeInfo(conn abnn2.Conn, model string) (HandshakeInfo, error) {
+	return clientHandshakeInfo(conn, hello{V: helloVersion, Model: model})
 }
 
 // ClientHandshakeOffline performs the handshake for a remote offline-
@@ -167,7 +182,7 @@ func clientHandshakeInfo(conn abnn2.Conn, h hello) (HandshakeInfo, error) {
 	if err := json.Unmarshal(hr.Arch, &info.Arch); err != nil {
 		return info, fmt.Errorf("serve: malformed architecture: %w", err)
 	}
-	info.Model, info.BankID, info.Peer = hr.Model, hr.BankID, hr.Peer
+	info.Model, info.BankID, info.Peer, info.SessionID = hr.Model, hr.BankID, hr.Peer, hr.Session
 	return info, nil
 }
 

@@ -1,0 +1,47 @@
+package trace
+
+import "time"
+
+// A Flight is one framed wire message observed at one endpoint: the
+// direction, the 1-based per-direction ordinal, the framed size, and a
+// timestamp anchored to the session's start. Both endpoints stamp their
+// own flights; because the transport is ordered and lossless, the i-th
+// send of one party is the i-th receive of the other, which is what
+// timeline reconciliation (EstimateOffset) exploits to estimate the
+// clock offset between the two processes without any extra protocol.
+//
+// Flights carry only metadata — sizes and timings — never payload
+// bytes, so dumps and flight-recorder exports are safe to share.
+type Flight struct {
+	// Kind is always FlightKind in serialized form, so span and flight
+	// lines can coexist in one JSONL dump.
+	Kind    string `json:"kind,omitempty"`
+	Party   string `json:"party,omitempty"`
+	Session uint64 `json:"session,omitempty"`
+	// Dir is DirSend or DirRecv, from this endpoint's point of view.
+	Dir string `json:"dir"`
+	// Seq is the 1-based ordinal of this flight within (party, dir).
+	Seq int64 `json:"seq"`
+	// Bytes is the framed payload size.
+	Bytes int64 `json:"bytes"`
+	// Wall is the stamp in this endpoint's clock, derived from a
+	// monotonic reading against the session epoch so a wall-clock step
+	// mid-session cannot reorder flights.
+	Wall time.Time `json:"wall"`
+}
+
+// Serialized discriminators for mixed span/flight JSONL dumps.
+const (
+	FlightKind = "flight"
+	DirSend    = "send"
+	DirRecv    = "recv"
+)
+
+// FlightSink receives flight events. Sinks that also want flights —
+// JSONL dumps, the Collector, the Recorder — implement it alongside
+// Sink; the session layer type-asserts and stamps flights only when the
+// configured trace sink consumes them. Implementations must be safe for
+// concurrent EmitFlight calls.
+type FlightSink interface {
+	EmitFlight(Flight)
+}

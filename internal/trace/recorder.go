@@ -1,0 +1,144 @@
+package trace
+
+import "sync"
+
+// Recorder is an always-on bounded flight recorder: a per-session ring
+// buffer of recent span and flight events, cheap enough to leave enabled
+// in production and dump only when an anomaly trigger fires. Rings are
+// bounded per session and the session set itself is an LRU, so memory is
+// O(maxSessions * perSession) regardless of traffic.
+//
+// A nil *Recorder is valid and disabled, like the nil Tracer.
+type Recorder struct {
+	perSession  int
+	maxSessions int
+
+	mu       sync.Mutex
+	sessions map[uint64]*sessionRing
+	order    []uint64 // LRU order, most recently touched last
+}
+
+// RecorderEvent is one recorded event: exactly one of Span or Flight is
+// set.
+type RecorderEvent struct {
+	Span   *Span   `json:"span,omitempty"`
+	Flight *Flight `json:"flight,omitempty"`
+}
+
+// Default ring sizing: 256 events covers every flight and span of an
+// MNIST-scale session with room to spare; 64 sessions bounds a busy
+// server's recorder well under a megabyte.
+const (
+	DefaultRecorderEvents   = 256
+	DefaultRecorderSessions = 64
+)
+
+// NewRecorder returns a Recorder keeping the last perSession events for
+// each of the last maxSessions sessions. Non-positive arguments take the
+// defaults.
+func NewRecorder(perSession, maxSessions int) *Recorder {
+	if perSession <= 0 {
+		perSession = DefaultRecorderEvents
+	}
+	if maxSessions <= 0 {
+		maxSessions = DefaultRecorderSessions
+	}
+	return &Recorder{
+		perSession:  perSession,
+		maxSessions: maxSessions,
+		sessions:    make(map[uint64]*sessionRing),
+	}
+}
+
+type sessionRing struct {
+	events  []RecorderEvent // ring storage, len == capacity once full
+	next    int             // write cursor
+	full    bool
+	dropped int64 // events overwritten so far
+}
+
+// Emit implements Sink.
+func (r *Recorder) Emit(s Span) {
+	if r == nil {
+		return
+	}
+	r.add(s.Session, RecorderEvent{Span: &s})
+}
+
+// EmitFlight implements FlightSink.
+func (r *Recorder) EmitFlight(f Flight) {
+	if r == nil {
+		return
+	}
+	r.add(f.Session, RecorderEvent{Flight: &f})
+}
+
+func (r *Recorder) add(session uint64, ev RecorderEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ring, ok := r.sessions[session]
+	if !ok {
+		if len(r.order) >= r.maxSessions {
+			evict := r.order[0]
+			r.order = r.order[1:]
+			delete(r.sessions, evict)
+		}
+		ring = &sessionRing{events: make([]RecorderEvent, 0, r.perSession)}
+		r.sessions[session] = ring
+		r.order = append(r.order, session)
+	} else if r.order[len(r.order)-1] != session {
+		for i, id := range r.order {
+			if id == session {
+				r.order = append(r.order[:i], r.order[i+1:]...)
+				break
+			}
+		}
+		r.order = append(r.order, session)
+	}
+	if ring.full {
+		ring.events[ring.next] = ev
+		ring.next = (ring.next + 1) % r.perSession
+		ring.dropped++
+		return
+	}
+	ring.events = append(ring.events, ev)
+	if len(ring.events) == r.perSession {
+		ring.full = true
+	}
+}
+
+// Sessions returns the recorded session ids, least recently touched
+// first. Nil-safe.
+func (r *Recorder) Sessions() []uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]uint64, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Session returns a copy of one session's recorded events oldest-first,
+// and how many older events the ring has already overwritten. Nil-safe;
+// unknown sessions return (nil, 0).
+func (r *Recorder) Session(id uint64) ([]RecorderEvent, int64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ring, ok := r.sessions[id]
+	if !ok {
+		return nil, 0
+	}
+	out := make([]RecorderEvent, 0, len(ring.events))
+	if ring.full {
+		out = append(out, ring.events[ring.next:]...)
+		out = append(out, ring.events[:ring.next]...)
+	} else {
+		out = append(out, ring.events...)
+	}
+	return out, ring.dropped
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderRingBound(t *testing.T) {
+	r := NewRecorder(4, 8)
+	base := time.Unix(0, 0)
+	for i := 0; i < 10; i++ {
+		r.EmitFlight(Flight{Session: 1, Dir: DirSend, Seq: int64(i), Wall: base})
+	}
+	events, dropped := r.Session(1)
+	if len(events) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(events))
+	}
+	if dropped != 6 {
+		t.Errorf("dropped = %d, want 6", dropped)
+	}
+	// Oldest-first unroll: the survivors are seqs 6..9.
+	for i, ev := range events {
+		if ev.Flight == nil || ev.Flight.Seq != int64(6+i) {
+			t.Fatalf("event %d = %+v, want flight seq %d", i, ev, 6+i)
+		}
+	}
+}
+
+func TestRecorderMixedEvents(t *testing.T) {
+	r := NewRecorder(8, 8)
+	r.Emit(Span{Session: 3, Name: "online", Layer: -1})
+	r.EmitFlight(Flight{Session: 3, Dir: DirRecv, Seq: 1})
+	events, dropped := r.Session(3)
+	if dropped != 0 || len(events) != 2 {
+		t.Fatalf("got %d events (%d dropped), want 2 (0)", len(events), dropped)
+	}
+	if events[0].Span == nil || events[0].Span.Name != "online" {
+		t.Errorf("event 0 = %+v, want the online span", events[0])
+	}
+	if events[1].Flight == nil || events[1].Flight.Seq != 1 {
+		t.Errorf("event 1 = %+v, want the recv flight", events[1])
+	}
+}
+
+func TestRecorderSessionLRU(t *testing.T) {
+	r := NewRecorder(4, 2)
+	r.EmitFlight(Flight{Session: 1, Seq: 1})
+	r.EmitFlight(Flight{Session: 2, Seq: 1})
+	// Touch 1 so 2 becomes the eviction candidate.
+	r.EmitFlight(Flight{Session: 1, Seq: 2})
+	r.EmitFlight(Flight{Session: 3, Seq: 1})
+
+	if ev, _ := r.Session(2); ev != nil {
+		t.Error("least recently touched session 2 not evicted")
+	}
+	if ev, _ := r.Session(1); len(ev) != 2 {
+		t.Errorf("session 1 has %d events, want 2", len(ev))
+	}
+	ids := r.Sessions()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Errorf("Sessions = %v, want [1 3]", ids)
+	}
+}
+
+func TestRecorderUnknownSession(t *testing.T) {
+	r := NewRecorder(4, 4)
+	if ev, dropped := r.Session(99); ev != nil || dropped != 0 {
+		t.Errorf("unknown session returned (%v, %d)", ev, dropped)
+	}
+}
+
+func TestRecorderNil(t *testing.T) {
+	var r *Recorder
+	r.Emit(Span{Session: 1})
+	r.EmitFlight(Flight{Session: 1})
+	if r.Sessions() != nil {
+		t.Error("nil recorder listed sessions")
+	}
+	if ev, _ := r.Session(1); ev != nil {
+		t.Error("nil recorder returned events")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(16, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.EmitFlight(Flight{Session: uint64(g % 3), Seq: int64(i)})
+				r.Emit(Span{Session: uint64(g % 3), Name: "online"})
+				r.Session(uint64(g % 3))
+				r.Sessions()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := len(r.Sessions()); n != 3 {
+		t.Errorf("recorded %d sessions, want 3", n)
+	}
+}

@@ -8,10 +8,12 @@ import (
 	"sync"
 )
 
-// Collector is an in-memory Sink, for tests and post-run analysis.
+// Collector is an in-memory Sink and FlightSink, for tests and post-run
+// analysis.
 type Collector struct {
-	mu    sync.Mutex
-	spans []Span
+	mu      sync.Mutex
+	spans   []Span
+	flights []Flight
 }
 
 // Emit implements Sink.
@@ -21,12 +23,29 @@ func (c *Collector) Emit(s Span) {
 	c.mu.Unlock()
 }
 
+// EmitFlight implements FlightSink.
+func (c *Collector) EmitFlight(f Flight) {
+	c.mu.Lock()
+	c.flights = append(c.flights, f)
+	c.mu.Unlock()
+}
+
 // Spans returns a copy of everything collected so far, in emission order.
 func (c *Collector) Spans() []Span {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]Span, len(c.spans))
 	copy(out, c.spans)
+	return out
+}
+
+// Flights returns a copy of every flight collected so far, in emission
+// order.
+func (c *Collector) Flights() []Flight {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Flight, len(c.flights))
+	copy(out, c.flights)
 	return out
 }
 
@@ -48,6 +67,15 @@ func NewJSONL(w io.Writer) *JSONL {
 func (j *JSONL) Emit(s Span) {
 	j.mu.Lock()
 	_ = j.enc.Encode(s)
+	j.mu.Unlock()
+}
+
+// EmitFlight implements FlightSink: flight lines interleave with span
+// lines in the same dump, discriminated by "kind":"flight".
+func (j *JSONL) EmitFlight(f Flight) {
+	f.Kind = FlightKind
+	j.mu.Lock()
+	_ = j.enc.Encode(f)
 	j.mu.Unlock()
 }
 
@@ -77,9 +105,28 @@ func (m multiSink) Emit(s Span) {
 	}
 }
 
-// ReadJSONL parses a JSONL span dump produced by the JSONL sink.
+// EmitFlight forwards to the member sinks that consume flights.
+func (m multiSink) EmitFlight(f Flight) {
+	for _, sink := range m {
+		if fs, ok := sink.(FlightSink); ok {
+			fs.EmitFlight(f)
+		}
+	}
+}
+
+// ReadJSONL parses a JSONL span dump produced by the JSONL sink. Flight
+// lines ("kind":"flight") are skipped; use ReadDump to get both.
 func ReadJSONL(r io.Reader) ([]Span, error) {
+	spans, _, err := ReadDump(r)
+	return spans, err
+}
+
+// ReadDump parses a JSONL dump into its spans and flights. Both record
+// kinds share one file: spans have no "kind" field, flights carry
+// "kind":"flight".
+func ReadDump(r io.Reader) ([]Span, []Flight, error) {
 	var spans []Span
+	var flights []Flight
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
@@ -89,14 +136,28 @@ func ReadJSONL(r io.Reader) ([]Span, error) {
 		if len(raw) == 0 {
 			continue
 		}
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &kind); err != nil {
+			return nil, nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if kind.Kind == FlightKind {
+			var f Flight
+			if err := json.Unmarshal(raw, &f); err != nil {
+				return nil, nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			flights = append(flights, f)
+			continue
+		}
 		var s Span
 		if err := json.Unmarshal(raw, &s); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			return nil, nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		spans = append(spans, s)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: read: %w", err)
+		return nil, nil, fmt.Errorf("trace: read: %w", err)
 	}
-	return spans, nil
+	return spans, flights, nil
 }

@@ -1,6 +1,10 @@
 package transport
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // Stats aggregates the communication profile of a protocol execution
 // between two parties: total bytes in each direction, message count, and
@@ -126,11 +130,23 @@ func Metered(a, b Conn) (Conn, Conn, *Meter) {
 		m
 }
 
+// FlightFunc observes one successfully framed message crossing an
+// observed endpoint: the direction ("send" or "recv"), the 1-based
+// per-direction sequence number, the framed payload size, and the time
+// the transport completed the operation. Implementations must be safe
+// for concurrent calls and must not block: they run on the wire path.
+type FlightFunc func(dir string, seq int64, n int, at time.Time)
+
 // endpointConn meters a single endpoint in both directions: its sends
-// are recorded as party A, its receives as party B.
+// are recorded as party A, its receives as party B. An optional
+// FlightFunc additionally stamps every message with a per-direction
+// ordinal and a timestamp.
 type endpointConn struct {
 	Conn
-	meter *Meter
+	meter   *Meter
+	obs     FlightFunc
+	sendSeq atomic.Int64
+	recvSeq atomic.Int64
 }
 
 func (c *endpointConn) Send(msg []byte) error {
@@ -138,6 +154,9 @@ func (c *endpointConn) Send(msg []byte) error {
 		return err
 	}
 	c.meter.record(1, len(msg))
+	if c.obs != nil {
+		c.obs("send", c.sendSeq.Add(1), len(msg), time.Now())
+	}
 	return nil
 }
 
@@ -147,6 +166,9 @@ func (c *endpointConn) Recv() ([]byte, error) {
 		return nil, err
 	}
 	c.meter.record(2, len(msg))
+	if c.obs != nil {
+		c.obs("recv", c.recvSeq.Add(1), len(msg), time.Now())
+	}
 	return msg, nil
 }
 
@@ -156,6 +178,16 @@ func (c *endpointConn) Recv() ([]byte, error) {
 // in the returned Stats, BytesAB is what this endpoint sent and BytesBA
 // what it received. Only successfully transferred messages are counted.
 func MeterEndpoint(c Conn) (Conn, *Meter) {
+	return MeterEndpointObserved(c, nil)
+}
+
+// MeterEndpointObserved is MeterEndpoint with a flight observer: obs
+// (when non-nil) is called once per successfully transferred message
+// with its direction, per-direction ordinal, size, and completion time.
+// Because the transport is ordered and lossless, the i-th "send" at one
+// endpoint is the i-th "recv" at its peer, which lets an offline merge
+// pair the two parties' stamps without any wire-format change.
+func MeterEndpointObserved(c Conn, obs FlightFunc) (Conn, *Meter) {
 	m := &Meter{}
-	return &endpointConn{Conn: c, meter: m}, m
+	return &endpointConn{Conn: c, meter: m, obs: obs}, m
 }

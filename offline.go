@@ -65,7 +65,7 @@ func ServeOfflineSession(ctx context.Context, conn Conn, model *QuantizedModel, 
 		return fmt.Errorf("abnn2: offline sessions require a bank with a durable store")
 	}
 	b := cfg.Bank
-	sc := newSessionConn(ctx, conn, cfg.RoundTimeout)
+	sc := newSessionConn(ctx, conn, cfg.RoundTimeout, cfg.flightFunc("server"))
 	defer sc.release()
 	tr := cfg.tracer(sc, "server")
 	scheme := model.qm.Layers[0].Scheme
@@ -166,7 +166,7 @@ func ReplenishSession(ctx context.Context, conn Conn, arch Arch, cfg Config, ser
 	if err != nil {
 		return 0, fmt.Errorf("abnn2: architecture scheme: %w", err)
 	}
-	sc := newSessionConn(ctx, conn, cfg.RoundTimeout)
+	sc := newSessionConn(ctx, conn, cfg.RoundTimeout, cfg.flightFunc("client"))
 	defer sc.release()
 	tr := cfg.tracer(sc, "client")
 	p := core.Params{Ring: ring.New(cfg.ringBits()), Scheme: scheme, Workers: cfg.Workers, Trace: tr}

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Bench regression gate: re-measure the offline/online bank split and
+# the durable cold/warm start on this machine, then compare against the
+# checked-in BENCH_baseline.json / BENCH_durable.json with
+# scripts/benchdiff. The comparer calibrates a machine speed factor
+# from the offline-heavy rows, so a uniformly slower CI box passes —
+# only the online path regressing relative to the offline path (or
+# wire traffic growing) fails, at BENCHDIFF_THRESHOLD (default 20%).
+#
+# Regenerate the baselines after an intentional perf change with:
+#
+#	go run ./cmd/abnn2-bench -bank -baseline-out BENCH_baseline.json
+#	go run ./cmd/abnn2-bench -bank-durable -baseline-out BENCH_durable.json
+set -eu
+
+GO="${GO:-go}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT INT TERM
+cd "$(dirname "$0")/.."
+
+echo "== fresh bank-split measurement (full shapes, ~20s)"
+$GO run ./cmd/abnn2-bench -bank -baseline-out "$WORK/bank.json"
+
+echo "== fresh durable cold/warm measurement"
+$GO run ./cmd/abnn2-bench -bank-durable -baseline-out "$WORK/durable.json"
+
+echo "== compare against checked-in baselines"
+$GO run ./scripts/benchdiff -threshold "${BENCHDIFF_THRESHOLD:-0.20}" \
+    BENCH_baseline.json "$WORK/bank.json" \
+    BENCH_durable.json "$WORK/durable.json"
+
+echo "benchdiff OK"

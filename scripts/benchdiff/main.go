@@ -1,0 +1,190 @@
+// Command benchdiff guards the online path against performance
+// regressions. It compares freshly measured bank benchmark documents
+// (written by abnn2-bench -baseline-out) against the checked-in
+// baselines and exits non-zero when the online path got more than
+// -threshold slower.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.20] BASELINE FRESH [BASELINE FRESH ...]
+//
+// Each pair must hold the same table kind ("bank-split" or
+// "bank-durable") measured with the same -quick setting. Because the
+// baseline and the fresh run usually come from different machines, raw
+// walls are not comparable: the offline-heavy rows (end-to-end walls,
+// cold-start first prediction) calibrate a machine speed factor — the
+// geometric mean of fresh/baseline over those rows — and the online
+// rows (online-only walls, warm-start first prediction) are judged
+// after dividing by it. A uniformly slower machine therefore passes; an
+// online path that slowed down relative to the offline path fails.
+// Wire traffic is deterministic, so comm_mb is compared raw under the
+// same threshold.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+type document struct {
+	Table string `json:"table"`
+	Quick bool   `json:"quick"`
+	Rows  []row  `json:"rows"`
+}
+
+// row carries the union of the bank-split and bank-durable schemas;
+// absent fields decode to zero and are simply not consulted.
+type row struct {
+	Scheme   string  `json:"scheme"`
+	Batch    int     `json:"batch"`
+	Mode     string  `json:"mode"`
+	WallSec  float64 `json:"wall_sec"`
+	FirstSec float64 `json:"first_sec"`
+	CommMB   float64 `json:"comm_mb"`
+}
+
+// spec says, per table kind, which rows calibrate the machine speed
+// factor and which rows are the guarded online path.
+type spec struct {
+	calibMode, judgeMode string
+	metric               string
+	value                func(row) float64
+}
+
+var specs = map[string]spec{
+	"bank-split":   {"end-to-end", "online-only", "wall_sec", func(r row) float64 { return r.WallSec }},
+	"bank-durable": {"cold-start", "warm-start", "first_sec", func(r row) float64 { return r.FirstSec }},
+}
+
+func load(path string) (document, error) {
+	var doc document
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if _, ok := specs[doc.Table]; !ok {
+		return doc, fmt.Errorf("%s: unknown table kind %q", path, doc.Table)
+	}
+	return doc, nil
+}
+
+func key(r row) string { return fmt.Sprintf("%s/batch=%d/%s", r.Scheme, r.Batch, r.Mode) }
+
+func index(rows []row) map[string]row {
+	m := make(map[string]row, len(rows))
+	for _, r := range rows {
+		m[key(r)] = r
+	}
+	return m
+}
+
+// comparePair diffs one baseline/fresh document pair and returns the
+// human-readable verdict lines plus whether the pair failed.
+func comparePair(basePath, freshPath string, threshold float64) ([]string, bool) {
+	base, err := load(basePath)
+	if err != nil {
+		return []string{err.Error()}, true
+	}
+	fresh, err := load(freshPath)
+	if err != nil {
+		return []string{err.Error()}, true
+	}
+	if base.Table != fresh.Table {
+		return []string{fmt.Sprintf("%s is %q but %s is %q — mismatched pair",
+			basePath, base.Table, freshPath, fresh.Table)}, true
+	}
+	if base.Quick != fresh.Quick {
+		return []string{fmt.Sprintf("%s: quick=%v vs fresh quick=%v — shapes differ, rerun abnn2-bench with matching -quick",
+			base.Table, base.Quick, fresh.Quick)}, true
+	}
+	sp := specs[base.Table]
+	baseRows, freshRows := index(base.Rows), index(fresh.Rows)
+
+	// Machine speed factor from the offline-heavy calibration rows.
+	var logSum float64
+	var calibrated int
+	for k, b := range baseRows {
+		f, ok := freshRows[k]
+		if !ok || b.Mode != sp.calibMode {
+			continue
+		}
+		bv, fv := sp.value(b), sp.value(f)
+		if bv <= 0 || fv <= 0 {
+			continue
+		}
+		logSum += math.Log(fv / bv)
+		calibrated++
+	}
+	if calibrated == 0 {
+		return []string{fmt.Sprintf("%s: no matched %q rows to calibrate the machine speed factor",
+			base.Table, sp.calibMode)}, true
+	}
+	factor := math.Exp(logSum / float64(calibrated))
+
+	lines := []string{fmt.Sprintf("%s: machine speed factor %.2fx (from %d %s rows)",
+		base.Table, factor, calibrated, sp.calibMode)}
+	failed := false
+	keys := make([]string, 0, len(baseRows))
+	for k := range baseRows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b := baseRows[k]
+		if b.Mode != sp.judgeMode {
+			continue
+		}
+		f, ok := freshRows[k]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("  FAIL %s: row missing from fresh run", k))
+			failed = true
+			continue
+		}
+		norm := sp.value(f) / factor
+		ratio := norm / sp.value(b)
+		verdict := "ok  "
+		if ratio > 1+threshold {
+			verdict, failed = "FAIL", true
+		}
+		lines = append(lines, fmt.Sprintf("  %s %s: %s %.4fs -> %.4fs (%.4fs normalized, %+.1f%%)",
+			verdict, k, sp.metric, sp.value(b), sp.value(f), norm, (ratio-1)*100))
+		commRatio := f.CommMB / b.CommMB
+		verdict = "ok  "
+		if commRatio > 1+threshold {
+			verdict, failed = "FAIL", true
+		}
+		lines = append(lines, fmt.Sprintf("  %s %s: comm_mb %.2f -> %.2f (%+.1f%%)",
+			verdict, k, b.CommMB, f.CommMB, (commRatio-1)*100))
+	}
+	return lines, failed
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.20,
+		"fail when a normalized online-path value regresses by more than this fraction")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 || len(args)%2 != 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold F] BASELINE FRESH [BASELINE FRESH ...]")
+		os.Exit(2)
+	}
+	failed := false
+	for i := 0; i < len(args); i += 2 {
+		lines, bad := comparePair(args[i], args[i+1], *threshold)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		failed = failed || bad
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: online-path regression beyond %.0f%%\n", *threshold*100)
+		os.Exit(1)
+	}
+}

@@ -3,7 +3,10 @@
 # wait for /readyz, drive it with abnn2-load over TCP (which fails on any
 # session error or any retryable rejection missing its retry-after
 # hint), then audit the shed accounting on /metrics — every shed must be
-# typed and, when retryable, hinted.
+# typed and, when retryable, hinted. Finally, run one traced client and
+# reconcile its dump with the server's via abnn2-inspect -timeline: the
+# merged cross-party timeline must attribute the session's wall time to
+# compute/wire/queue/bank-wait within 1%, or the script fails.
 #
 # Tuned to finish in about a minute on one CI core: a tiny model, a
 # deliberately small -max-conns so shedding actually happens, and a
@@ -30,11 +33,14 @@ $GO run ./cmd/abnn2-train -arch fig4 -scheme "4(2,2)" -epochs 1 -samples 200 \
 echo "== build race-enabled binaries"
 $GO build -race -o "$WORK/abnn2-server" ./cmd/abnn2-server
 $GO build -o "$WORK/abnn2-load" ./cmd/abnn2-load
+$GO build -o "$WORK/abnn2-client" ./cmd/abnn2-client
+$GO build -o "$WORK/abnn2-inspect" ./cmd/abnn2-inspect
 
 echo "== boot server (small admission cap so backpressure fires)"
 "$WORK/abnn2-server" -model "$WORK/model.json" -listen "$ADDR" \
     -metrics-addr "$METRICS" -max-conns 2 -workers 1 \
-    -round-timeout 2m >"$WORK/server.log" 2>&1 &
+    -round-timeout 2m -trace-out "$WORK/server-spans.jsonl" \
+    >"$WORK/server.log" 2>&1 &
 SRV_PID=$!
 
 echo "== wait for /readyz"
@@ -77,6 +83,33 @@ awk '
     }
 ' "$SCRAPE" || {
     echo "shed-without-hint detected" >&2
+    exit 1
+}
+
+echo "== cross-party timeline (traced client vs server dump)"
+"$WORK/abnn2-client" -connect "$ADDR" -n 2 -ring 64 -workers 1 \
+    -trace-out "$WORK/client-spans.jsonl" >/dev/null
+# The load clients above did not trace, so exactly one session carries
+# flights from both parties and -timeline auto-detects it. The server
+# flushes its dump when its session goroutine finishes — a beat after
+# the client exits — so retry briefly before judging.
+i=0
+until "$WORK/abnn2-inspect" \
+    -timeline "$WORK/client-spans.jsonl,$WORK/server-spans.jsonl" \
+    -tolerance 0.01 >"$WORK/timeline.txt" 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 20 ]; then
+        echo "timeline reconciliation failed" >&2
+        cat "$WORK/timeline.txt" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+cat "$WORK/timeline.txt"
+
+echo "== flight recorder endpoint"
+curl -fsS "http://$METRICS/debug/flightrecorder" | grep -q '"sessions"' || {
+    echo "/debug/flightrecorder gave no session list" >&2
     exit 1
 }
 

@@ -85,8 +85,12 @@ type sessionConn struct {
 // Every session is metered single-endedly (see transport.MeterEndpoint):
 // the cost is one mutex-protected counter update per framed message, no
 // allocations, so metering is always on and Stats always available.
-func newSessionConn(ctx context.Context, conn Conn, timeout time.Duration) *sessionConn {
-	mc, meter := transport.MeterEndpoint(conn)
+//
+// obs, when non-nil, is additionally called once per transferred message
+// (see transport.MeterEndpointObserved) — the wire-flight stamper behind
+// cross-party timeline reconciliation.
+func newSessionConn(ctx context.Context, conn Conn, timeout time.Duration, obs transport.FlightFunc) *sessionConn {
+	mc, meter := transport.MeterEndpointObserved(conn, obs)
 	c := &sessionConn{inner: mc, meter: meter, timeout: timeout, ctx: ctx, stop: make(chan struct{})}
 	if ctx.Done() != nil {
 		go func() {

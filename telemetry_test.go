@@ -234,7 +234,7 @@ func TestSessionSendAddsNoAllocations(t *testing.T) {
 	a, b := transport.Pipe()
 	defer a.Close()
 	defer b.Close()
-	sc := newSessionConn(context.Background(), a, 0)
+	sc := newSessionConn(context.Background(), a, 0, nil)
 	defer sc.release()
 	msg := make([]byte, 64)
 
@@ -258,7 +258,7 @@ func TestSessionSendAddsNoAllocations(t *testing.T) {
 func BenchmarkSessionSend(b *testing.B) {
 	x, y := transport.Pipe()
 	defer x.Close()
-	sc := newSessionConn(context.Background(), x, 0)
+	sc := newSessionConn(context.Background(), x, 0, nil)
 	defer sc.release()
 	var wg sync.WaitGroup
 	wg.Add(1)
