@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench benchdiff tables ablations accuracy bank bank-durable conformance fuzz corpus chaos loadtest crashtest clean
+.PHONY: all build test vet race bench benchdiff tables ablations accuracy bank bank-durable conformance plan fuzz corpus chaos loadtest crashtest clean
 
 all: build test
 
@@ -94,6 +94,18 @@ conformance:
 	$(GO) test -count=1 ./internal/testkit
 	$(GO) test -count=1 -run TestConformanceSmoke .
 
+# Protocol-planner tier under the race detector: the cost-model unit
+# tests and plan wire-parser fuzz seeds, the 40-seed mixed-plan
+# differential sweep (random per-layer backends per seed, bit-identity
+# vs plaintext and vs the single-backend run), the planned golden
+# transcript and serve-layer plan handshake tests, and the measured
+# planner-vs-uniform bench gate.
+plan:
+	$(GO) test -race -count=1 ./internal/plan
+	$(GO) test -race -count=1 -run 'TestMixedPlanSweep|TestGoldenSessionPlanned' ./internal/testkit
+	$(GO) test -race -count=1 -run 'TestServePlannedSessionEndToEnd|TestRejectBadPlan|TestRequiredPlanMismatch' ./internal/serve
+	$(GO) test -count=1 -run 'TestTablePlanShapes' ./internal/bench
+
 # Short fuzz pass over every fuzz target.
 fuzz:
 	$(GO) test ./internal/quant -fuzz FuzzParse -fuzztime 10s
@@ -116,6 +128,7 @@ fuzz:
 	$(GO) test ./internal/bank -fuzz FuzzScanSegment -fuzztime 10s
 	$(GO) test ./internal/bank -fuzz FuzzScanJournal -fuzztime 10s
 	$(GO) test ./internal/bank -fuzz FuzzDecodeCorr -fuzztime 10s
+	$(GO) test ./internal/plan -fuzz FuzzUnmarshalPlan -fuzztime 10s
 
 # Regenerate the checked-in wire-parser seed corpora
 # (internal/*/testdata/fuzz). Run after changing any wire format.

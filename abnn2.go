@@ -25,6 +25,7 @@
 package abnn2
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -34,6 +35,7 @@ import (
 
 	"abnn2/internal/bank"
 	"abnn2/internal/core"
+	"abnn2/internal/plan"
 	"abnn2/internal/prg"
 	"abnn2/internal/quant"
 	"abnn2/internal/ring"
@@ -126,7 +128,24 @@ type Config struct {
 	// (ReplenishSession) over the in-process dealer pools, announcing
 	// correlations with this party's own peer ID so the server can claim
 	// the matching stored half. Empty disables peer-paired draws.
+	// Peer-paired pools hold all-ABNN2 material only, so a session with
+	// a Plan skips them and draws from the dealer pools (or falls back
+	// inline).
 	BankPeer string
+	// Plan, when non-nil, fixes the per-layer offline backend schedule.
+	// On a client it is proposed to the server in every batch
+	// announcement (one extra public flight) and executed by both
+	// parties; banked draws are keyed by the plan's fingerprint so
+	// pooled correlations always match the schedule. On a server it is a
+	// requirement: announced plans must be byte-identical to it and
+	// plan-less batches are rejected. A server without a Plan accepts
+	// any announced plan the model can execute. Plans never change
+	// prediction bits — only where offline cost is spent.
+	Plan *Plan
+	// MiniONNKeyBits sets the Paillier key size of planned MiniONN
+	// layers (0 = the baseline default, 1024). Public protocol state:
+	// both parties must configure the same value.
+	MiniONNKeyBits int
 }
 
 func (c Config) ringBits() uint {
@@ -152,6 +171,12 @@ func (c Config) validate() error {
 	}
 	if c.OfflineMode == OfflineBanked && c.Bank == nil {
 		return fmt.Errorf("abnn2: OfflineBanked requires Config.Bank")
+	}
+	if c.MiniONNKeyBits != 0 && (c.MiniONNKeyBits < 256 || c.MiniONNKeyBits > 4096) {
+		return fmt.Errorf("abnn2: MiniONNKeyBits %d outside [256,4096]", c.MiniONNKeyBits)
+	}
+	if c.Plan != nil && (len(c.Plan.Layers) == 0 || len(c.Plan.Layers) > plan.MaxLayers) {
+		return fmt.Errorf("abnn2: Plan has %d layers, want [1,%d]", len(c.Plan.Layers), plan.MaxLayers)
 	}
 	return nil
 }
@@ -216,6 +241,10 @@ type Server struct {
 	bank *Bank
 	mode OfflineMode
 	key  BankKey // pool key template; Batch filled per announcement
+
+	reqPlan []byte // marshalled Config.Plan, nil = accept any valid plan
+	planFP  string // fingerprint of the batch's active plan ("" = none)
+	planned bool   // a schedule is currently installed on the engine
 }
 
 // NewServer performs the cryptographic setup (base OTs) for the server
@@ -231,7 +260,8 @@ func newServer(ctx context.Context, conn Conn, model *QuantizedModel, cfg Config
 	sc := newSessionConn(ctx, conn, cfg.RoundTimeout, cfg.flightFunc("server"))
 	tr := cfg.tracer(sc, "server")
 	scheme := model.qm.Layers[0].Scheme
-	p := core.Params{Ring: ring.New(cfg.ringBits()), Scheme: scheme, Workers: cfg.Workers, Trace: tr}
+	p := core.Params{Ring: ring.New(cfg.ringBits()), Scheme: scheme, Workers: cfg.Workers, Trace: tr,
+		MiniONNBits: cfg.MiniONNKeyBits}
 	sp := tr.Start("setup")
 	eng, err := guardVal("server setup", func() (*core.ServerEngine, error) {
 		return core.NewServerEngineSeeded(sc, model.qm, p, cfg.variant(), cfg.rng())
@@ -242,6 +272,15 @@ func newServer(ctx context.Context, conn Conn, model *QuantizedModel, cfg Config
 		return nil, err
 	}
 	srv := &Server{eng: eng, sc: sc, tr: tr, bank: cfg.Bank, mode: cfg.OfflineMode}
+	if cfg.Plan != nil {
+		// Pre-check the required plan against this model so a
+		// misconfigured server fails at setup, not per batch.
+		if err := cfg.Plan.Validate(eng.Arch(), 1); err != nil {
+			sc.release()
+			return nil, err
+		}
+		srv.reqPlan = cfg.Plan.Marshal()
+	}
 	if cfg.Bank != nil {
 		// The server keys its claims by its own model's identity; a client
 		// announcing IDs from another model's pool is a claim miss.
@@ -338,11 +377,16 @@ func (s *Server) HandleBatch() error {
 		if batch <= 0 || batch > 1<<20 {
 			return fmt.Errorf("abnn2: batch size %d out of range", batch)
 		}
-		argmax := raw[4] == 1
-		if raw[4] > 1 {
+		// The mode byte is a bit mask: bit 0 selects the argmax finish,
+		// bit 1 announces that a plan frame follows the announcement.
+		if raw[4] > announceArgmax|announcePlan {
 			return fmt.Errorf("abnn2: unknown output mode %d", raw[4])
 		}
+		argmax := raw[4]&announceArgmax != 0
 		bsp.SetBatch(batch)
+		if err := s.applyPlan(batch, raw[4]&announcePlan != 0); err != nil {
+			return err
+		}
 		if len(raw) == 29 {
 			var peer bank.PeerID
 			copy(peer[:], raw[13:29])
@@ -370,6 +414,56 @@ func (s *Server) HandleBatch() error {
 	return err
 }
 
+// Batch announcement mode-byte bits.
+const (
+	announceArgmax = 0x01 // private argmax finish
+	announcePlan   = 0x02 // a plan frame follows the announcement
+)
+
+// applyPlan consumes a batch's plan frame (when announced) and installs
+// the schedule on the engine; without one it restores the all-ABNN2
+// default. The frame is attacker-shaped bytes: it is strictly parsed,
+// checked against the server's configured plan (when one is required),
+// and validated against the model — layer count, backend applicability,
+// weight ranges — before any of it reaches the protocol.
+func (s *Server) applyPlan(batch int, planned bool) error {
+	if !planned {
+		if s.reqPlan != nil {
+			return fmt.Errorf("abnn2: batch announced without a plan, but this server requires one")
+		}
+		if s.planned {
+			if err := s.eng.SetSchedule(nil); err != nil {
+				return err
+			}
+			s.planned, s.planFP = false, ""
+		}
+		return nil
+	}
+	raw, err := s.sc.Recv()
+	if err != nil {
+		return fmt.Errorf("abnn2: recv plan frame: %w", err)
+	}
+	p, err := plan.Unmarshal(raw)
+	if err != nil {
+		return fmt.Errorf("abnn2: %w", err)
+	}
+	if s.reqPlan != nil && !bytes.Equal(raw, s.reqPlan) {
+		return fmt.Errorf("abnn2: announced plan does not match this server's configured plan")
+	}
+	if err := p.Validate(s.eng.Arch(), batch); err != nil {
+		return fmt.Errorf("abnn2: %w", err)
+	}
+	sched, err := p.Schedule()
+	if err != nil {
+		return fmt.Errorf("abnn2: %w", err)
+	}
+	if err := s.eng.SetSchedule(sched); err != nil {
+		return err
+	}
+	s.planned, s.planFP = true, p.Fingerprint()
+	return nil
+}
+
 // claimCorr resolves a banked announcement: it claims the parked server
 // half for the announced correlation ID and installs it. Any failure —
 // no bank, inline-only policy, unknown/spent ID, a half from the wrong
@@ -381,8 +475,7 @@ func (s *Server) claimCorr(batch int, id uint64) (err error) {
 	if s.bank == nil || s.mode == OfflineInline {
 		return fmt.Errorf("abnn2: client announced a banked batch but this server provisions inline")
 	}
-	key := s.key
-	key.Batch = batch
+	key := s.claimKey(batch)
 	half, ok := s.bank.Claim(id, key)
 	if !ok {
 		return fmt.Errorf("abnn2: unknown or spent correlation ID for pool %v", key)
@@ -408,6 +501,11 @@ func (s *Server) claimPeerCorr(batch int, id uint64, peer bank.PeerID) (err erro
 	if s.bank.Store() == nil {
 		return fmt.Errorf("abnn2: client announced a peer-banked batch but this server has no durable store")
 	}
+	if s.planFP != "" {
+		// Peer-paired pools hold all-ABNN2 material; a planned batch
+		// announcing one is a protocol violation, not a fallback case.
+		return fmt.Errorf("abnn2: peer-banked announcement on a planned batch")
+	}
 	key := s.key
 	key.Batch = batch
 	corr, ok := s.bank.ClaimPeer(peer, id, key)
@@ -415,6 +513,19 @@ func (s *Server) claimPeerCorr(batch int, id uint64, peer bank.PeerID) (err erro
 		return fmt.Errorf("abnn2: unknown or spent peer correlation ID for pool %v", key)
 	}
 	return s.eng.InstallCorr(corr)
+}
+
+// claimKey is the pool key of the current batch: the session pool, or
+// the plan-fingerprinted pool when a schedule is active — banked
+// correlations must have been generated under the very schedule the
+// batch runs.
+func (s *Server) claimKey(batch int) BankKey {
+	key := s.key
+	key.Batch = batch
+	if s.planFP != "" {
+		key.Backend = bank.PlanBackend(s.planFP)
+	}
+	return key
 }
 
 // Client is the data owner's endpoint.
@@ -432,6 +543,9 @@ type Client struct {
 	hasPeer  bool
 	peer     bank.PeerID // the server's identity, keying local peer draws
 	selfPeer bank.PeerID // this party's identity, announced to the server
+
+	plan    *Plan  // the proposed per-layer backend schedule, nil = all-ABNN2
+	planRaw []byte // its marshalled frame, appended to every announcement
 }
 
 // Dial performs the cryptographic setup for the client role. arch must
@@ -453,7 +567,7 @@ func DialContext(ctx context.Context, conn Conn, arch Arch, cfg Config) (*Client
 		return nil, fmt.Errorf("abnn2: Config.Bank on a client requires Config.BankModel")
 	}
 	var peer BankPeerID
-	usePeer := cfg.BankPeer != "" && cfg.OfflineMode != OfflineInline
+	usePeer := cfg.BankPeer != "" && cfg.OfflineMode != OfflineInline && cfg.Plan == nil
 	if usePeer {
 		if cfg.Bank == nil || cfg.Bank.Store() == nil {
 			return nil, fmt.Errorf("abnn2: Config.BankPeer requires a bank with a durable store")
@@ -470,7 +584,8 @@ func DialContext(ctx context.Context, conn Conn, arch Arch, cfg Config) (*Client
 	sc := newSessionConn(ctx, conn, cfg.RoundTimeout, cfg.flightFunc("client"))
 	tr := cfg.tracer(sc, "client")
 	rg := ring.New(cfg.ringBits())
-	p := core.Params{Ring: rg, Scheme: scheme, Workers: cfg.Workers, Trace: tr}
+	p := core.Params{Ring: rg, Scheme: scheme, Workers: cfg.Workers, Trace: tr,
+		MiniONNBits: cfg.MiniONNKeyBits}
 	sp := tr.Start("setup")
 	eng, err := guardVal("client setup", func() (*core.ClientEngine, error) {
 		return core.NewClientEngine(sc, arch, p, cfg.variant(), cfg.rng())
@@ -482,9 +597,36 @@ func DialContext(ctx context.Context, conn Conn, arch Arch, cfg Config) (*Client
 	}
 	cl := &Client{eng: eng, sc: sc, tr: tr, arch: arch, rg: rg, frac: arch.Frac,
 		bank: cfg.Bank, mode: cfg.OfflineMode}
+	var sched core.Schedule
+	if cfg.Plan != nil {
+		if err := cfg.Plan.Validate(arch, 1); err != nil {
+			sc.release()
+			return nil, fmt.Errorf("abnn2: %w", err)
+		}
+		if sched, err = cfg.Plan.Schedule(); err != nil {
+			sc.release()
+			return nil, fmt.Errorf("abnn2: %w", err)
+		}
+		if err := eng.SetSchedule(sched); err != nil {
+			sc.release()
+			return nil, err
+		}
+		cl.plan, cl.planRaw = cfg.Plan, cfg.Plan.Marshal()
+	}
 	if cfg.Bank != nil {
+		backend := bank.SessionBackend
+		if cfg.Plan != nil {
+			// Banked draws for a planned session come from pools keyed —
+			// and generated — under this exact schedule.
+			fp := cfg.Plan.Fingerprint()
+			backend = bank.PlanBackend(fp)
+			if err := cfg.Bank.RegisterSchedule(fp, sched, cfg.MiniONNKeyBits); err != nil {
+				sc.release()
+				return nil, err
+			}
+		}
 		cl.key = BankKey{Model: cfg.BankModel, Scheme: arch.SchemeName,
-			RingBits: cfg.ringBits(), Backend: bank.SessionBackend}
+			RingBits: cfg.ringBits(), Backend: backend}
 	}
 	if usePeer {
 		cl.hasPeer, cl.peer, cl.selfPeer = true, peer, cfg.Bank.Store().PeerID()
@@ -580,8 +722,29 @@ func (c *Client) encodeBatch(inputs [][]float64) (*ring.Mat, error) {
 }
 
 func (c *Client) announce(batch int, mode byte) error {
-	ann := []byte{byte(batch), byte(batch >> 8), byte(batch >> 16), byte(batch >> 24), mode}
-	return c.sc.Send(ann)
+	ann := []byte{byte(batch), byte(batch >> 8), byte(batch >> 16), byte(batch >> 24), c.modeBits(mode)}
+	if err := c.sc.Send(ann); err != nil {
+		return err
+	}
+	return c.sendPlan()
+}
+
+// modeBits folds the plan-follows bit into an announcement's mode byte.
+func (c *Client) modeBits(mode byte) byte {
+	if c.planRaw != nil {
+		mode |= announcePlan
+	}
+	return mode
+}
+
+// sendPlan appends the session's plan frame to an announcement. The
+// frame depends only on public configuration, never on inputs, so its
+// shape leaks nothing (the golden-transcript suite pins this).
+func (c *Client) sendPlan() error {
+	if c.planRaw == nil {
+		return nil
+	}
+	return c.sc.Send(c.planRaw)
 }
 
 // provision readies one batch's offline material and announces the batch
@@ -592,6 +755,14 @@ func (c *Client) announce(batch int, mode byte) error {
 // (OfflineAuto) or fails fast (OfflineBanked) — it never waits for the
 // pool to fill.
 func (c *Client) provision(batch int, mode byte) error {
+	if c.plan != nil {
+		// Batch size changes backend applicability (QUOTIENT is o=1
+		// only), so the plan revalidates per batch before it is
+		// announced — the server would reject it anyway.
+		if err := c.plan.Validate(c.arch, batch); err != nil {
+			return fmt.Errorf("abnn2: %w", err)
+		}
+	}
 	if c.bank != nil && c.mode != OfflineInline {
 		key := c.key
 		key.Batch = batch
@@ -653,9 +824,12 @@ func (c *Client) installCorr(key BankKey, id uint64, half any) error {
 func (c *Client) announceBanked(batch int, mode byte, id uint64) error {
 	ann := make([]byte, 13)
 	ann[0], ann[1], ann[2], ann[3] = byte(batch), byte(batch>>8), byte(batch>>16), byte(batch>>24)
-	ann[4] = mode
+	ann[4] = c.modeBits(mode)
 	binary.LittleEndian.PutUint64(ann[5:], id)
-	return c.sc.Send(ann)
+	if err := c.sc.Send(ann); err != nil {
+		return err
+	}
+	return c.sendPlan()
 }
 
 // announcePeerBanked is announceBanked plus this client's own peer ID,
@@ -663,8 +837,11 @@ func (c *Client) announceBanked(batch int, mode byte, id uint64) error {
 func (c *Client) announcePeerBanked(batch int, mode byte, id uint64) error {
 	ann := make([]byte, 29)
 	ann[0], ann[1], ann[2], ann[3] = byte(batch), byte(batch>>8), byte(batch>>16), byte(batch>>24)
-	ann[4] = mode
+	ann[4] = c.modeBits(mode)
 	binary.LittleEndian.PutUint64(ann[5:13], id)
 	copy(ann[13:29], c.selfPeer[:])
-	return c.sc.Send(ann)
+	if err := c.sc.Send(ann); err != nil {
+		return err
+	}
+	return c.sendPlan()
 }

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"abnn2/internal/bench"
+	"abnn2/internal/plan"
 	"abnn2/internal/trace"
 )
 
@@ -33,9 +34,12 @@ func main() {
 	baselineOut := flag.String("baseline-out", "", "with -bank or -bank-durable: also write the rows as a JSON baseline to this file")
 	workers := flag.Int("workers", 0, "worker goroutines for protocol kernels (0 = one per CPU)")
 	traceOut := flag.String("trace-out", "", "append per-phase protocol spans as JSONL to this file (empty = off); replay with abnn2-inspect -trace")
+	planFlag := flag.String("plan", "", "for -table plan: "+plan.FlagUsage)
+	linkFlag := flag.String("link", "", "for -table plan: link model pricing the plan (lan, wan, or MBps:RTTms; empty = wan)")
+	planOut := flag.String("plan-out", "", "for -table plan: also write the evaluated plan as JSON to this file (feed back via -plan @file)")
 	flag.Parse()
 
-	opt := bench.Options{Quick: *quick, Out: os.Stdout, Workers: *workers}
+	opt := bench.Options{Quick: *quick, Out: os.Stdout, Workers: *workers, Plan: *planFlag, Link: *linkFlag}
 	if *traceOut != "" {
 		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -93,6 +97,13 @@ func main() {
 		"4":   func(o bench.Options) { bench.Table4(o) },
 		"5":   func(o bench.Options) { bench.Table5(o) },
 		"cnn": func(o bench.Options) { bench.TableCNN(o) },
+		"plan": func(o bench.Options) {
+			rows := bench.TablePlan(o)
+			writeBaseline("plan", rows)
+			if *planOut != "" && len(rows) > 0 {
+				writePlanJSON(*planOut, rows[0].Plan)
+			}
+		},
 	}
 	if *table == "all" {
 		for _, k := range []string{"1", "2", "3", "4", "5", "cnn"} {
@@ -102,8 +113,27 @@ func main() {
 	}
 	f, ok := run[*table]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "abnn2-bench: unknown table %q (want 1..5, cnn, or all)\n", *table)
+		fmt.Fprintf(os.Stderr, "abnn2-bench: unknown table %q (want 1..5, cnn, plan, or all)\n", *table)
 		os.Exit(2)
 	}
 	f(opt)
+}
+
+// writePlanJSON persists an evaluated plan (its compact string form,
+// e.g. "abnn2,minionn") as the JSON @file form -plan accepts.
+func writePlanJSON(path, planStr string) {
+	p, err := plan.FromString(planStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abnn2-bench: plan-out: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abnn2-bench: plan-out: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "abnn2-bench: plan-out: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"abnn2"
+	"abnn2/internal/plan"
 	"abnn2/internal/serve"
 )
 
@@ -53,10 +54,18 @@ func main() {
 	traceOut := flag.String("trace-out", "", "append protocol spans as JSONL to this file (empty = off)")
 	bankDir := flag.String("bank-dir", "", "durable correlation store directory for peer-paired offline material (empty = off)")
 	prefetch := flag.Int("prefetch", 0, "run a remote offline session stocking this many correlations of batch -n before inference (requires -bank-dir)")
+	planFlag := flag.String("plan", "", plan.FlagUsage)
+	linkFlag := flag.String("link", "wan", "link model pricing -plan auto: lan, wan, or MBps:RTTms")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "abnn2-client")
 	if *prefetch > 0 && *bankDir == "" {
 		logger.Error("-prefetch requires -bank-dir")
+		os.Exit(1)
+	}
+	if *planFlag != "" && *prefetch > 0 {
+		// Peer-paired pools hold all-ABNN2 material; a planned session
+		// cannot draw from them.
+		logger.Error("-plan cannot be combined with -prefetch (peer-paired pools are all-ABNN2)")
 		os.Exit(1)
 	}
 
@@ -202,6 +211,26 @@ func main() {
 
 	cfg := baseCfg
 	cfg.SessionID = info.SessionID
+	if *planFlag != "" {
+		// The plan is computed from public state only (architecture, ring
+		// width, batch, link); the server re-validates it per batch.
+		link, err := plan.ParseLink(*linkFlag)
+		if err != nil {
+			logger.Error("bad -link", "err", err)
+			os.Exit(1)
+		}
+		p, est, err := plan.FromFlag(*planFlag, plan.Input{
+			Arch: arch, RingBits: *ringBits, Batch: *n, Link: link})
+		if err != nil {
+			logger.Error("bad -plan", "err", err)
+			os.Exit(1)
+		}
+		fmt.Printf("plan: %s\n", p)
+		if est != nil {
+			fmt.Print(est.Table())
+		}
+		cfg.Plan = p
+	}
 	if cbank != nil && info.BankID != "" && info.Peer != "" {
 		// Provision from the durable peer-paired pool; a dry pool falls
 		// back to the inline offline phase (OfflineAuto).

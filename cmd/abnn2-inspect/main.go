@@ -46,6 +46,7 @@ import (
 	"abnn2/internal/core"
 	"abnn2/internal/nn"
 	"abnn2/internal/otext"
+	"abnn2/internal/plan"
 	"abnn2/internal/trace"
 )
 
@@ -60,6 +61,10 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.01, "allowed fraction of wall time left unattributed by -timeline before failing")
 	jsonOut := flag.Bool("json", false, "emit the -timeline result as JSON instead of a table")
 	bankAudit := flag.String("bank-audit", "", "audit a bank store directory's claim journal for double-spent ids")
+	planFlag := flag.String("plan", "", "print the "+
+		"protocol planner's predicted per-layer cost table for -model (auto, a backend name, or @file); "+
+		"with -trace, also the measured per-layer offline spans beside it")
+	linkFlag := flag.String("link", "wan", "link model pricing -plan: lan, wan, or MBps:RTTms")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("abnn2-inspect: ")
@@ -70,6 +75,10 @@ func main() {
 	}
 	if *timeline != "" {
 		buildTimeline(*timeline, *session, *tolerance, *jsonOut)
+		return
+	}
+	if *planFlag != "" {
+		planReport(*modelPath, *planFlag, *linkFlag, *batches, *ringBits, *tracePath)
 		return
 	}
 	if *tracePath != "" {
@@ -141,6 +150,104 @@ func main() {
 		neurons, neurons*perNeuronAND,
 		float64(neurons*perNeuronAND)*2*16/(1<<20))
 	fmt.Printf("(kappa = %d; one-batch C-OT and multi-batch packing selected automatically per batch)\n", otext.Kappa)
+}
+
+// planReport prints the protocol planner's predicted per-layer cost
+// table for a model, and — when a span dump is supplied — the measured
+// per-layer offline ("triplets") spans beside the predictions, so a
+// recorded run can be judged against the cost model that planned it.
+func planReport(modelPath, planVal, linkVal, batches string, ringBits uint, tracePath string) {
+	data, err := os.ReadFile(modelPath)
+	if err != nil {
+		log.Fatalf("read model: %v", err)
+	}
+	qm, err := nn.UnmarshalQuantized(data)
+	if err != nil {
+		log.Fatalf("parse model: %v", err)
+	}
+	link, err := plan.ParseLink(linkVal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch := 1
+	if first := strings.Split(batches, ",")[0]; first != "" {
+		if b, err := strconv.Atoi(strings.TrimSpace(first)); err == nil && b > 0 {
+			batch = b
+		}
+	}
+	in := plan.Input{Arch: core.ArchOf(qm), RingBits: ringBits, Batch: batch, Link: link}
+	p, est, err := plan.FromFlag(planVal, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %s (batch %d, %s link)\n", p, batch, link.Name)
+	if est == nil {
+		log.Fatalf("plan %s cannot be priced by the cost model", p)
+	}
+	fmt.Print(est.Table())
+	if tracePath == "" {
+		return
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		log.Fatalf("open trace: %v", err)
+	}
+	defer f.Close()
+	spans, err := trace.ReadJSONL(f)
+	if err != nil {
+		log.Fatalf("parse trace: %v", err)
+	}
+	// One party's view of each layer's offline span is the measured
+	// counterpart of the predicted row; prefer the client's (both
+	// directions of the shared wire appear in either).
+	party := "server"
+	for _, s := range spans {
+		if s.Party == "client" && s.Name == "triplets" {
+			party = "client"
+			break
+		}
+	}
+	type agg struct {
+		bytes, flights int64
+		dur            float64
+		n              int
+	}
+	perLayer := map[int]*agg{}
+	for _, s := range spans {
+		if s.Name != "triplets" || s.Party != party || s.Layer < 0 {
+			continue
+		}
+		a := perLayer[s.Layer]
+		if a == nil {
+			a = &agg{}
+			perLayer[s.Layer] = a
+		}
+		a.bytes += s.Bytes()
+		a.flights += s.Flights
+		a.dur += s.Dur.Seconds()
+		a.n++
+	}
+	if len(perLayer) == 0 {
+		log.Fatalf("trace %s holds no per-layer triplets spans", tracePath)
+	}
+	fmt.Printf("\nmeasured offline spans (%s party, %s):\n", party, tracePath)
+	fmt.Printf("%5s %10s %12s %12s %9s %8s\n", "layer", "runs", "meas comm", "pred comm", "flights", "wall s")
+	for li, l := range est.Layers {
+		a := perLayer[li]
+		if a == nil {
+			fmt.Printf("%5d %10s\n", li, "-")
+			continue
+		}
+		fmt.Printf("%5d %10d %12s %12s %9d %8.3f\n",
+			li, a.n, fmtMB(a.bytes), fmtMB(int64(l.Chosen.CommBits/8)), a.flights, a.dur)
+	}
+}
+
+// fmtMB renders a byte count in MB with enough precision for small
+// layers.
+func fmtMB(b int64) string {
+	return fmt.Sprintf("%.3f MB", float64(b)/(1<<20))
 }
 
 // replayTrace loads a recorded span dump and prints the measured

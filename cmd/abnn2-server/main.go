@@ -52,6 +52,7 @@ import (
 	"abnn2"
 	"abnn2/internal/bank"
 	"abnn2/internal/metrics"
+	"abnn2/internal/plan"
 	"abnn2/internal/serve"
 )
 
@@ -83,6 +84,8 @@ func main() {
 		"clients may run peer-paired offline replenishment sessions (empty = memory-only; requires -bank-capacity > 0)")
 	bankFsync := flag.Int("bank-fsync", 1, "fsync the claim journal every N claims (1 = every claim, the only "+
 		"setting that makes single-use survive power loss)")
+	planFlag := flag.String("plan", "", "required "+plan.FlagUsage+"; single-model registries only")
+	linkFlag := flag.String("link", "wan", "link model pricing -plan auto: lan, wan, or MBps:RTTms")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "abnn2-server")
 
@@ -195,6 +198,33 @@ func main() {
 		}
 	}
 
+	// Required plan: every session must announce exactly this per-layer
+	// backend schedule. The plan is per-model (layer counts must match),
+	// so it is limited to single-model registries.
+	var reqPlan *abnn2.Plan
+	if *planFlag != "" {
+		if registry.Len() != 1 {
+			logger.Error("-plan requires a single-model registry", "models", registry.Len())
+			os.Exit(1)
+		}
+		link, err := plan.ParseLink(*linkFlag)
+		if err != nil {
+			logger.Error("bad -link", "err", err)
+			os.Exit(1)
+		}
+		p, est, err := plan.FromFlag(*planFlag, plan.Input{
+			Arch: registry.Default().Quant.Arch(), RingBits: *ringBits, Batch: 1, Link: link})
+		if err != nil {
+			logger.Error("bad -plan", "err", err)
+			os.Exit(1)
+		}
+		reqPlan = p
+		logger.Info("plan required", "plan", p.String())
+		if est != nil {
+			os.Stderr.WriteString(est.Table())
+		}
+	}
+
 	rt, err := serve.New(serve.Options{
 		Registry:         registry,
 		Bank:             corrBank,
@@ -207,6 +237,7 @@ func main() {
 			RoundTimeout:  *roundTimeout,
 			Trace:         traceSink,
 			OfflineMode:   mode,
+			Plan:          reqPlan,
 		},
 		Metrics:     serveMetrics,
 		Logger:      logger,

@@ -29,6 +29,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -44,6 +45,15 @@ import (
 // sessions (paired core.ServerCorr/core.ClientCorr halves). Other backend
 // names are free for custom pools registered with RegisterProducer.
 const SessionBackend = "abnn2"
+
+// planPrefix starts the Key.Backend of pools generated under a per-layer
+// protocol schedule; the remainder is the plan fingerprint, so a pool
+// only ever serves sessions running that exact schedule.
+const planPrefix = "plan:"
+
+// PlanBackend returns the Key.Backend of session pools generated under
+// the plan with the given fingerprint (see internal/plan.Fingerprint).
+func PlanBackend(fingerprint string) string { return planPrefix + fingerprint }
 
 // Key identifies one correlation pool. Model is the digest returned by
 // RegisterModel for session pools (free-form for custom pools); Scheme is
@@ -178,6 +188,7 @@ type Bank struct {
 
 	mu       sync.Mutex
 	models   map[string]*nn.QuantizedModel
+	scheds   map[string]schedEntry
 	pools    map[Key]*pool
 	claims   map[uint64]claimEntry
 	order    []uint64 // claim insertion order, for eviction
@@ -206,9 +217,36 @@ func New(opts Options) *Bank {
 		cancel: cancel,
 		rng:    rng,
 		models: make(map[string]*nn.QuantizedModel),
+		scheds: make(map[string]schedEntry),
 		pools:  make(map[Key]*pool),
 		claims: make(map[uint64]claimEntry),
 	}
+}
+
+// schedEntry is one registered per-layer protocol schedule, keyed by its
+// plan fingerprint.
+type schedEntry struct {
+	sched       core.Schedule
+	miniONNBits int
+}
+
+// RegisterSchedule makes planned session pools (Key.Backend =
+// PlanBackend(fingerprint)) generable: their offline phase runs under
+// sched instead of all-ABNN2. miniONNBits sets the Paillier key size for
+// MiniONN layers (0 = default). Idempotent for identical registrations.
+// Planned pools are not reloaded by Restore (their scopes stay on disk
+// untouched); they regenerate on demand.
+func (b *Bank) RegisterSchedule(fingerprint string, sched core.Schedule, miniONNBits int) error {
+	if fingerprint == "" || sched == nil {
+		return fmt.Errorf("bank: schedule registration needs a fingerprint and a schedule")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("bank: closed")
+	}
+	b.scheds[fingerprint] = schedEntry{sched: sched, miniONNBits: miniONNBits}
+	return nil
 }
 
 // ModelID returns the bank identity of a quantized model: a digest of its
@@ -285,7 +323,17 @@ func (b *Bank) lookup(key Key) *pool {
 	if p, ok := b.pools[key]; ok {
 		return p
 	}
-	if key.Backend != SessionBackend {
+	var sched core.Schedule
+	var mbits int
+	switch {
+	case key.Backend == SessionBackend:
+	case strings.HasPrefix(key.Backend, planPrefix):
+		e, ok := b.scheds[strings.TrimPrefix(key.Backend, planPrefix)]
+		if !ok {
+			return nil
+		}
+		sched, mbits = e.sched, e.miniONNBits
+	default:
 		return nil
 	}
 	qm, ok := b.models[key.Model]
@@ -296,8 +344,12 @@ func (b *Bank) lookup(key Key) *pool {
 	if err != nil {
 		return nil
 	}
+	if sched != nil && len(sched) != len(qm.Layers) {
+		return nil
+	}
+	params.MiniONNBits = mbits
 	p := b.newPoolLocked(key, nil)
-	p.model, p.params = qm, params
+	p.model, p.params, p.sched = qm, params, sched
 	b.pools[key] = p
 	return p
 }

@@ -18,8 +18,9 @@ type pool struct {
 	key    Key
 	custom Producer // non-nil for RegisterProducer pools
 	model  *nn.QuantizedModel
-	params core.Params // session pools only
-	rng    *prg.PRG    // pool stream; consumed only under genMu
+	params core.Params   // session pools only
+	sched  core.Schedule // per-layer backend schedule; nil = all-ABNN2
+	rng    *prg.PRG      // pool stream; consumed only under genMu
 	tr     *trace.Tracer
 
 	genMu   sync.Mutex // serializes generation and lazy generator setup
@@ -60,7 +61,7 @@ func (p *pool) generate(ctx context.Context) (Pair, error) {
 			return Pair{}, fmt.Errorf("bank: closed")
 		}
 	}
-	return p.session.generate(p.key.Batch)
+	return p.session.generate(p.key.Batch, p.sched)
 }
 
 // counters adapts the session generator's pipe meter to the tracer, so
@@ -138,18 +139,19 @@ func newSessionGen(model *nn.QuantizedModel, p core.Params, rng *prg.PRG) (*sess
 }
 
 // generate runs one offline phase, both roles concurrently, and returns
-// the paired halves.
-func (g *sessionGen) generate(batch int) (Pair, error) {
+// the paired halves. A non-nil sched routes each layer to its planned
+// backend; the stored halves are identical objects either way.
+func (g *sessionGen) generate(batch int, sched core.Schedule) (Pair, error) {
 	type result struct {
 		corr *core.ServerCorr
 		err  error
 	}
 	ch := make(chan result, 1)
 	go func() {
-		corr, err := g.strip.OfflineCorr(g.model, batch)
+		corr, err := g.strip.OfflineCorrSched(g.model, batch, sched)
 		ch <- result{corr, err}
 	}()
-	ccorr, cerr := g.ctrip.OfflineCorr(g.arch, g.shares, batch)
+	ccorr, cerr := g.ctrip.OfflineCorrSched(g.arch, g.shares, batch, sched)
 	if cerr != nil {
 		_ = g.sconn.Close() // release the server half before collecting it
 	}

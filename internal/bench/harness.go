@@ -33,6 +33,10 @@ type Options struct {
 	// protocol run (both parties, Label set to the table row identity) —
 	// the raw material behind each table entry. Nil disables tracing.
 	Trace trace.Sink
+	// Plan is TablePlan's -plan flag value ("" = auto); Link its -link
+	// value ("" = wan). Other tables ignore both.
+	Plan string
+	Link string
 }
 
 func (o Options) out() io.Writer {

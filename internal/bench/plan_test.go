@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// TestTablePlanShapes is the planner's acceptance gate: under the WAN
+// preset the cost model must pick a genuinely mixed per-layer schedule
+// for the reference CNN, and that schedule's *measured* offline wire
+// traffic (summed from the "offline" trace spans of a real run) must
+// strictly beat every uniform single-backend schedule. Byte counts are
+// deterministic under seeded randomness, so the comparison is exact —
+// no timing noise to calibrate around.
+func TestTablePlanShapes(t *testing.T) {
+	rows := TablePlan(quickOpts())
+	if len(rows) < 3 {
+		t.Fatalf("got %d rows, want the chosen plan plus at least two uniform baselines", len(rows))
+	}
+	chosen := rows[0]
+	if chosen.Uniform {
+		t.Fatalf("planner chose the uniform plan %q under WAN; expected a mixed schedule", chosen.Plan)
+	}
+	if chosen.OfflineMB <= 0 {
+		t.Fatalf("chosen plan %q recorded no offline traffic", chosen.Plan)
+	}
+	for _, r := range rows[1:] {
+		if !r.Uniform {
+			continue
+		}
+		if chosen.OfflineMB >= r.OfflineMB {
+			t.Errorf("mixed plan %q offline %.3f MB does not beat uniform %q offline %.3f MB",
+				chosen.Plan, chosen.OfflineMB, r.Plan, r.OfflineMB)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"abnn2/internal/quant"
+)
+
+// Per-layer backend selection. Every matmul backend in the repo produces
+// the same object — additive shares U (server) and V (client) with
+// U + V = W * R over Z_2^l — so the offline phase of each linear layer
+// can run under a different protocol without the online phase noticing:
+// the online messages depend only on the shares, never on how they were
+// generated. A Schedule fixes that choice per layer; the cost-model
+// planner (internal/plan) emits one, and the conformance sweep
+// (internal/testkit) locks arbitrary mixes against the plaintext oracle.
+
+// BackendID identifies one secure-matmul offline backend.
+type BackendID uint8
+
+const (
+	// BackendABNN2 is the paper's 1-out-of-N OT triplet protocol
+	// (one-batch or multi-batch picked by ModeFor, as always).
+	BackendABNN2 BackendID = iota
+	// BackendSecureML is the bitwise correlated-OT triplet baseline.
+	BackendSecureML
+	// BackendMiniONN is the Paillier additively-homomorphic baseline.
+	BackendMiniONN
+	// BackendQuotient is the ternary correlated-OT baseline; it is
+	// vector-only (o = 1) and requires weights in {-1, 0, 1}.
+	BackendQuotient
+
+	numBackends
+)
+
+func (b BackendID) String() string {
+	switch b {
+	case BackendABNN2:
+		return "abnn2"
+	case BackendSecureML:
+		return "secureml"
+	case BackendMiniONN:
+		return "minionn"
+	case BackendQuotient:
+		return "quotient"
+	}
+	return fmt.Sprintf("BackendID(%d)", uint8(b))
+}
+
+// Valid reports whether b names a known backend.
+func (b BackendID) Valid() bool { return b < numBackends }
+
+// ParseBackend parses a backend name as printed by BackendID.String.
+func ParseBackend(s string) (BackendID, error) {
+	for b := BackendID(0); b < numBackends; b++ {
+		if b.String() == s {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown backend %q", s)
+}
+
+// Backends lists every backend id, in wire order.
+func Backends() []BackendID {
+	out := make([]BackendID, numBackends)
+	for i := range out {
+		out[i] = BackendID(i)
+	}
+	return out
+}
+
+// LayerChoice fixes one linear layer's offline backend. Scheme, when
+// non-nil, overrides the session fragmentation scheme for the ABNN2
+// backend (an alternative η/γ decomposition of the same weight range);
+// it must be nil for the baselines, which do not fragment.
+type LayerChoice struct {
+	Backend BackendID
+	Scheme  quant.Scheme
+}
+
+// Schedule assigns one LayerChoice per linear layer. A nil Schedule is
+// the legacy path — every layer runs ABNN2 under the session scheme —
+// and is transcript-identical to sessions that predate scheduling.
+type Schedule []LayerChoice
+
+// Validate checks the schedule against a layer count and, on the server
+// side, the weights each choice must be able to represent (weights is
+// nil on the client, which holds none).
+func (s Schedule) Validate(arch Arch, weights [][]int64) error {
+	if s == nil {
+		return nil
+	}
+	if len(s) != len(arch.Layers) {
+		return fmt.Errorf("core: schedule has %d layers, architecture has %d", len(s), len(arch.Layers))
+	}
+	if weights != nil && len(weights) != len(arch.Layers) {
+		return fmt.Errorf("core: %d weight sets for %d layers", len(weights), len(arch.Layers))
+	}
+	for li, ch := range s {
+		if !ch.Backend.Valid() {
+			return fmt.Errorf("core: layer %d: unknown backend %d", li, uint8(ch.Backend))
+		}
+		if ch.Scheme != nil {
+			if ch.Backend != BackendABNN2 {
+				return fmt.Errorf("core: layer %d: scheme override on non-ABNN2 backend %s", li, ch.Backend)
+			}
+			for f := 0; f < ch.Scheme.Gamma(); f++ {
+				if n := ch.Scheme.FragmentN(f); n < 2 || n > 256 {
+					return fmt.Errorf("core: layer %d: fragment %d has N=%d, want [2,256]", li, f, n)
+				}
+			}
+		}
+		if weights == nil {
+			continue
+		}
+		switch ch.Backend {
+		case BackendABNN2:
+			if ch.Scheme != nil {
+				min, max := ch.Scheme.Range()
+				for _, w := range weights[li] {
+					if w < min || w > max {
+						return fmt.Errorf("core: layer %d: weight %d outside scheme %s range", li, w, ch.Scheme.Name())
+					}
+				}
+			}
+		case BackendQuotient:
+			for _, w := range weights[li] {
+				if w < -1 || w > 1 {
+					return fmt.Errorf("core: layer %d: weight %d outside quotient's ternary range", li, w)
+				}
+			}
+		}
+	}
+	return nil
+}

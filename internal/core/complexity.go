@@ -66,6 +66,29 @@ func OneBatchComplexity(l uint, scheme quant.Scheme, sh MatShape) Complexity {
 	}
 }
 
+// MiniONNComplexity models the Paillier baseline's offline traffic: the
+// client uploads n*o ciphertexts of Enc(r), the server returns m*o
+// ciphertexts of Enc(W*r - u), each ciphertext 2*keyBits bits; no OTs.
+func MiniONNComplexity(keyBits int, sh MatShape) Complexity {
+	ct := 2 * float64(keyBits)
+	return Complexity{
+		Label:    "MiniONN",
+		CommBits: (float64(sh.N) + float64(sh.M)) * float64(sh.O) * ct,
+	}
+}
+
+// QuotientComplexity models the ternary correlated-OT baseline: 2 COTs
+// per weight (one per nonzero sign candidate), each costing l payload
+// bits plus the 2*kappa column-matrix bits. Vector-only (o = 1).
+func QuotientComplexity(l uint, sh MatShape) Complexity {
+	mn := int64(sh.M) * int64(sh.N)
+	return Complexity{
+		Label:    "QUOTIENT",
+		NumOTs:   2 * mn,
+		CommBits: 2 * float64(mn) * (float64(l) + 2*otext.Kappa),
+	}
+}
+
 // OfflineComplexity returns the formula matching the implementation's
 // mode selection for a batch size.
 func OfflineComplexity(l uint, scheme quant.Scheme, sh MatShape) Complexity {

@@ -28,7 +28,7 @@ type ServerCorr struct {
 type ClientCorr struct {
 	Batch int
 	R0    *ring.Mat   // input mask, InputSize x batch
-	V     []*ring.Mat // per linear layer, l.Out x batch*l.cols()
+	V     []*ring.Mat // per linear layer, l.Out x batch*l.Cols()
 	Z1    []*ring.Mat // per layer; non-nil exactly for ReLU/pool layers
 }
 
@@ -38,8 +38,20 @@ type ClientCorr struct {
 // precompute service can run it against the matching client generator
 // ahead of any session.
 func (s *ServerTriplets) OfflineCorr(model *nn.QuantizedModel, batch int) (*ServerCorr, error) {
+	return s.OfflineCorrSched(model, batch, nil)
+}
+
+// OfflineCorrSched is OfflineCorr under a per-layer backend schedule. A
+// nil schedule is the legacy all-ABNN2 path, byte-identical to
+// OfflineCorr. Every backend yields the same object — the layer's U
+// share — so the returned correlation is interchangeable downstream;
+// only the wire bytes spent producing it differ.
+func (s *ServerTriplets) OfflineCorrSched(model *nn.QuantizedModel, batch int, sched Schedule) (*ServerCorr, error) {
 	if batch <= 0 {
 		return nil, fmt.Errorf("core: batch must be positive")
+	}
+	if sched != nil && len(sched) != len(model.Layers) {
+		return nil, fmt.Errorf("core: schedule has %d layers, model has %d", len(sched), len(model.Layers))
 	}
 	corr := &ServerCorr{Batch: batch, U: make([]*ring.Mat, 0, len(model.Layers))}
 	for li, l := range model.Layers {
@@ -48,15 +60,54 @@ func (s *ServerTriplets) OfflineCorr(model *nn.QuantizedModel, batch int) (*Serv
 		// exactly the paper's multi-batch reuse, applied to space instead
 		// of (only) batch.
 		sh := MatShape{M: l.Out, N: l.ColRows(), O: batch * l.Cols()}
+		var ch LayerChoice
+		if sched != nil {
+			ch = sched[li]
+		}
 		lsp := s.params.Trace.Start("triplets").SetLayer(li).SetWorkers(par.Workers(s.params.Workers))
-		u, err := s.GenerateServer(sh, l.W, ModeFor(sh.O))
+		u, err := s.generateLayer(ch, sh, l.W)
 		lsp.End(err)
 		if err != nil {
-			return nil, fmt.Errorf("core: server offline layer %d: %w", li, err)
+			return nil, fmt.Errorf("core: server offline layer %d (%s): %w", li, ch.Backend, err)
 		}
 		corr.U = append(corr.U, u)
 	}
 	return corr, nil
+}
+
+// generateLayer dispatches one layer's triplet generation to its
+// scheduled backend.
+func (s *ServerTriplets) generateLayer(ch LayerChoice, sh MatShape, W []int64) (*ring.Mat, error) {
+	switch ch.Backend {
+	case BackendABNN2:
+		return s.GenerateServerScheme(sh, W, ModeFor(sh.O), ch.Scheme)
+	case BackendSecureML:
+		g, err := s.secureML()
+		if err != nil {
+			return nil, err
+		}
+		return g.GenerateServer(W, sh.M, sh.N, sh.O)
+	case BackendMiniONN:
+		g, err := s.miniONN()
+		if err != nil {
+			return nil, err
+		}
+		return g.GenerateServer(W, sh.M, sh.N, sh.O)
+	case BackendQuotient:
+		if sh.O != 1 {
+			return nil, fmt.Errorf("core: quotient backend requires o=1, got o=%d", sh.O)
+		}
+		g, err := s.quotient()
+		if err != nil {
+			return nil, err
+		}
+		u, err := g.GenerateServer(W, sh.M, sh.N)
+		if err != nil {
+			return nil, err
+		}
+		return &ring.Mat{Rows: sh.M, Cols: 1, Data: u}, nil
+	}
+	return nil, fmt.Errorf("core: unknown backend %d", uint8(ch.Backend))
 }
 
 // OfflineCorr runs the client side of the offline phase: it samples the
@@ -64,8 +115,19 @@ func (s *ServerTriplets) OfflineCorr(model *nn.QuantizedModel, batch int) (*Serv
 // masking randomness comes from the generator's own stream), then
 // generates the matching triplets layer by layer.
 func (c *ClientTriplets) OfflineCorr(arch Arch, shareRNG *prg.PRG, batch int) (*ClientCorr, error) {
+	return c.OfflineCorrSched(arch, shareRNG, batch, nil)
+}
+
+// OfflineCorrSched is OfflineCorr under a per-layer backend schedule
+// (nil = all-ABNN2, byte-identical to OfflineCorr). The share sampling
+// from shareRNG is schedule-independent, so the same seed yields the
+// same R0/Z1 under every schedule.
+func (c *ClientTriplets) OfflineCorrSched(arch Arch, shareRNG *prg.PRG, batch int, sched Schedule) (*ClientCorr, error) {
 	if batch <= 0 {
 		return nil, fmt.Errorf("core: batch must be positive")
+	}
+	if sched != nil && len(sched) != len(arch.Layers) {
+		return nil, fmt.Errorf("core: schedule has %d layers, architecture has %d", len(sched), len(arch.Layers))
 	}
 	rg := c.params.Ring
 	corr := &ClientCorr{
@@ -76,18 +138,22 @@ func (c *ClientTriplets) OfflineCorr(arch Arch, shareRNG *prg.PRG, batch int) (*
 	}
 	r := corr.R0
 	for li, l := range arch.Layers {
-		sh := MatShape{M: l.Out, N: l.colRows(), O: batch * l.cols()}
+		sh := MatShape{M: l.Out, N: l.ColRows(), O: batch * l.Cols()}
+		var ch LayerChoice
+		if sched != nil {
+			ch = sched[li]
+		}
 		lsp := c.params.Trace.Start("triplets").SetLayer(li).SetWorkers(par.Workers(c.params.Workers))
-		v, err := c.GenerateClient(sh, shareCols(l, r), ModeFor(sh.O))
+		v, err := c.generateLayer(ch, sh, shareCols(l, r))
 		lsp.End(err)
 		if err != nil {
-			return nil, fmt.Errorf("core: client offline layer %d: %w", li, err)
+			return nil, fmt.Errorf("core: client offline layer %d (%s): %w", li, ch.Backend, err)
 		}
 		corr.V = append(corr.V, v)
 		switch {
 		case l.ReLU || l.Pool != nil:
 			// The GC reshare lets the client fix its next-layer share now.
-			corr.Z1[li] = shareRNG.Mat(rg, l.outputSize(), batch)
+			corr.Z1[li] = shareRNG.Mat(rg, l.OutputSize(), batch)
 			r = corr.Z1[li]
 		case li+1 < len(arch.Layers):
 			// Purely linear junction: the client's share of this layer's
@@ -100,6 +166,41 @@ func (c *ClientTriplets) OfflineCorr(arch Arch, shareRNG *prg.PRG, batch int) (*
 		}
 	}
 	return corr, nil
+}
+
+// generateLayer is the client-side backend dispatch; R is the client's
+// n x o share matrix for the layer.
+func (c *ClientTriplets) generateLayer(ch LayerChoice, sh MatShape, R *ring.Mat) (*ring.Mat, error) {
+	switch ch.Backend {
+	case BackendABNN2:
+		return c.GenerateClientScheme(sh, R, ModeFor(sh.O), ch.Scheme)
+	case BackendSecureML:
+		g, err := c.secureML()
+		if err != nil {
+			return nil, err
+		}
+		return g.GenerateClient(sh.M, R)
+	case BackendMiniONN:
+		g, err := c.miniONN()
+		if err != nil {
+			return nil, err
+		}
+		return g.GenerateClient(sh.M, R)
+	case BackendQuotient:
+		if sh.O != 1 {
+			return nil, fmt.Errorf("core: quotient backend requires o=1, got o=%d", sh.O)
+		}
+		g, err := c.quotient()
+		if err != nil {
+			return nil, err
+		}
+		v, err := g.GenerateClient(sh.M, ring.Vec(R.Data))
+		if err != nil {
+			return nil, err
+		}
+		return &ring.Mat{Rows: sh.M, Cols: 1, Data: v}, nil
+	}
+	return nil, fmt.Errorf("core: unknown backend %d", uint8(ch.Backend))
 }
 
 // InstallCorr arms the engine with a precomputed correlation half, in
@@ -142,12 +243,12 @@ func (e *ClientEngine) InstallCorr(c *ClientCorr) error {
 	}
 	for li, l := range e.arch.Layers {
 		v := c.V[li]
-		if v == nil || v.Rows != l.Out || v.Cols != c.Batch*l.cols() {
+		if v == nil || v.Rows != l.Out || v.Cols != c.Batch*l.Cols() {
 			return fmt.Errorf("core: install client corr: layer %d triplet share malformed", li)
 		}
 		gc := l.ReLU || l.Pool != nil
 		z := c.Z1[li]
-		if gc && (z == nil || z.Rows != l.outputSize() || z.Cols != c.Batch) {
+		if gc && (z == nil || z.Rows != l.OutputSize() || z.Cols != c.Batch) {
 			return fmt.Errorf("core: install client corr: layer %d activation share malformed", li)
 		}
 		if !gc && z != nil {

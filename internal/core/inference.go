@@ -26,26 +26,26 @@ type LayerSpec struct {
 	Pool    *nn.PoolSpec `json:",omitempty"`
 }
 
-// colRows returns the matmul inner dimension.
-func (l LayerSpec) colRows() int {
+// ColRows returns the matmul inner dimension.
+func (l LayerSpec) ColRows() int {
 	if l.Conv == nil {
 		return l.In
 	}
 	return l.Conv.ColRows()
 }
 
-// cols returns matmul columns per sample.
-func (l LayerSpec) cols() int {
+// Cols returns matmul columns per sample.
+func (l LayerSpec) Cols() int {
 	if l.Conv == nil {
 		return 1
 	}
 	return l.Conv.Positions()
 }
 
-// outputSize returns the flattened per-sample output length after
+// OutputSize returns the flattened per-sample output length after
 // pooling.
-func (l LayerSpec) outputSize() int {
-	p := l.cols()
+func (l LayerSpec) OutputSize() int {
+	p := l.Cols()
 	if l.Pool != nil {
 		p /= l.Pool.K * l.Pool.K
 	}
@@ -79,7 +79,7 @@ func ArchOf(qm *nn.QuantizedModel) Arch {
 func (a Arch) InputSize() int { return a.Layers[0].In }
 
 // OutputSize returns the network output dimension.
-func (a Arch) OutputSize() int { return a.Layers[len(a.Layers)-1].outputSize() }
+func (a Arch) OutputSize() int { return a.Layers[len(a.Layers)-1].OutputSize() }
 
 // Validate checks structural consistency. The client receives the Arch
 // over the network (it is public data, but still attacker-shaped bytes),
@@ -115,9 +115,9 @@ func (a Arch) Validate() error {
 				return fmt.Errorf("core: layer %d: %w", i, err)
 			}
 		}
-		if i > 0 && a.Layers[i-1].outputSize() != l.In {
+		if i > 0 && a.Layers[i-1].OutputSize() != l.In {
 			return fmt.Errorf("core: layer %d expects %d inputs, previous layer outputs %d",
-				i, l.In, a.Layers[i-1].outputSize())
+				i, l.In, a.Layers[i-1].OutputSize())
 		}
 	}
 	return nil
@@ -198,6 +198,7 @@ type ServerEngine struct {
 	conn    Conn
 	trip    *ServerTriplets
 	nl      *ServerNonlinear
+	sched   Schedule
 
 	batch int
 	u     []*ring.Mat // per linear layer
@@ -212,6 +213,7 @@ type ClientEngine struct {
 	trip    *ClientTriplets
 	nl      *ClientNonlinear
 	rng     *prg.PRG
+	sched   Schedule
 
 	batch int
 	r0    *ring.Mat   // input mask
@@ -274,6 +276,35 @@ func NewClientEngine(conn Conn, arch Arch, p Params, variant ReLUVariant, rng *p
 	return &ClientEngine{params: p, variant: variant, arch: arch, conn: conn, trip: trip, nl: nl, rng: rng}, nil
 }
 
+// Arch returns the public architecture of the served model.
+func (e *ServerEngine) Arch() Arch { return e.arch }
+
+// SetSchedule fixes the per-layer backend schedule subsequent Offline
+// calls run under (nil restores the all-ABNN2 default). Weights are
+// validated against each choice, so an unrepresentable plan fails here
+// rather than mid-protocol.
+func (e *ServerEngine) SetSchedule(s Schedule) error {
+	weights := make([][]int64, len(e.model.Layers))
+	for i, l := range e.model.Layers {
+		weights[i] = l.W
+	}
+	if err := s.Validate(e.arch, weights); err != nil {
+		return err
+	}
+	e.sched = s
+	return nil
+}
+
+// SetSchedule is the client-side counterpart; the client holds no
+// weights, so only structural validity is checked.
+func (e *ClientEngine) SetSchedule(s Schedule) error {
+	if err := s.Validate(e.arch, nil); err != nil {
+		return err
+	}
+	e.sched = s
+	return nil
+}
+
 // Offline runs the server's data-independent phase for one batch of the
 // given size. It may be called again after Online to provision the next
 // batch. Sessions drawing from a precompute bank skip it and InstallCorr
@@ -284,7 +315,7 @@ func (e *ServerEngine) Offline(batch int) (err error) {
 	}
 	sp := e.params.Trace.Start("offline").SetBatch(batch)
 	defer func() { sp.End(err) }()
-	corr, err := e.trip.OfflineCorr(e.model, batch)
+	corr, err := e.trip.OfflineCorrSched(e.model, batch, e.sched)
 	if err != nil {
 		return err
 	}
@@ -301,7 +332,7 @@ func (e *ClientEngine) Offline(batch int) (err error) {
 	}
 	sp := e.params.Trace.Start("offline").SetBatch(batch)
 	defer func() { sp.End(err) }()
-	corr, err := e.trip.OfflineCorr(e.arch, e.rng, batch)
+	corr, err := e.trip.OfflineCorrSched(e.arch, e.rng, batch, e.sched)
 	if err != nil {
 		return err
 	}
@@ -371,7 +402,7 @@ func (e *ServerEngine) online(argmax bool) (err error) {
 			if err != nil {
 				return fmt.Errorf("core: server pool layer %d: %w", li, err)
 			}
-			z0 = &ring.Mat{Rows: spec.outputSize(), Cols: e.batch, Data: zvec}
+			z0 = &ring.Mat{Rows: spec.OutputSize(), Cols: e.batch, Data: zvec}
 		case l.ReLU:
 			rsp := e.params.Trace.Start("relu").SetLayer(li)
 			zvec, err := e.nl.ReLUServer(e.variant, f0.Data)
@@ -379,7 +410,7 @@ func (e *ServerEngine) online(argmax bool) (err error) {
 			if err != nil {
 				return fmt.Errorf("core: server ReLU layer %d: %w", li, err)
 			}
-			z0 = &ring.Mat{Rows: spec.outputSize(), Cols: e.batch, Data: zvec}
+			z0 = &ring.Mat{Rows: spec.OutputSize(), Cols: e.batch, Data: zvec}
 		default:
 			z0 = f0
 		}

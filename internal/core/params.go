@@ -37,6 +37,11 @@ type Params struct {
 	// telemetry (the peer never observes it); nil disables tracing with
 	// zero overhead.
 	Trace *trace.Tracer
+	// MiniONNBits sets the Paillier key size used when a per-layer
+	// Schedule routes a layer to the MiniONN backend; 0 means the
+	// baseline package default. Public protocol state: both parties must
+	// agree (the client generates the key, the server checks it).
+	MiniONNBits int
 }
 
 // Validate checks internal consistency.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"abnn2/internal/baseline"
 	"abnn2/internal/otext"
 	"abnn2/internal/par"
 	"abnn2/internal/prg"
@@ -24,19 +25,43 @@ import (
 // ClientTriplets is the client-side triplet generator. It owns the
 // OT-extension sender (KK13 instantiation over the 256-bit
 // Walsh-Hadamard code, which serves every fragment size up to N=256).
+// When a per-layer Schedule routes layers to the baseline backends, it
+// also lazily owns the matching baseline generators over the same
+// connection (distinct OT session tags keep the instances apart).
 type ClientTriplets struct {
-	params Params
-	ot     *otext.Sender
-	rng    *prg.PRG
-	vals   [][]ring.Elem
+	params  Params
+	ot      *otext.Sender
+	rng     *prg.PRG
+	vals    [][]ring.Elem
+	session uint64
+
+	altVals map[string][][]ring.Elem // fragValues per override scheme
+	sml     *baseline.SecureMLClient
+	mon     *baseline.MiniONNClient
+	quo     *baseline.QuotientClient
 }
 
-// ServerTriplets is the server-side triplet generator (OT receiver).
+// ServerTriplets is the server-side triplet generator (OT receiver),
+// plus the lazily-created server sides of any scheduled baselines.
 type ServerTriplets struct {
-	params Params
-	ot     *otext.Receiver
-	vals   [][]ring.Elem
+	params  Params
+	ot      *otext.Receiver
+	vals    [][]ring.Elem
+	rng     *prg.PRG
+	session uint64
+
+	sml *baseline.SecureMLServer
+	mon *baseline.MiniONNServer
+	quo *baseline.QuotientServer
 }
+
+// Baseline generators ride the same connection as the ABNN2 triplets;
+// offsetting the session tag keeps their OT-extension instances (and
+// random-oracle domains) separate from the triplet and GC sessions.
+const (
+	sessionOffSecureML = 0x40
+	sessionOffQuotient = 0x41
+)
 
 // NewClientTriplets performs base-OT setup for the client role.
 func NewClientTriplets(conn Conn, p Params, session uint64, rng *prg.PRG) (*ClientTriplets, error) {
@@ -48,7 +73,7 @@ func NewClientTriplets(conn Conn, p Params, session uint64, rng *prg.PRG) (*Clie
 		return nil, fmt.Errorf("core: client triplet setup: %w", err)
 	}
 	ot.SetWorkers(p.Workers)
-	return &ClientTriplets{params: p, ot: ot, rng: rng, vals: p.fragValues()}, nil
+	return &ClientTriplets{params: p, ot: ot, rng: rng, vals: p.fragValues(), session: session}, nil
 }
 
 // NewServerTriplets performs base-OT setup for the server role. The
@@ -70,7 +95,113 @@ func NewServerTripletsSeeded(conn Conn, p Params, session uint64, rng *prg.PRG) 
 		return nil, fmt.Errorf("core: server triplet setup: %w", err)
 	}
 	ot.SetWorkers(p.Workers)
-	return &ServerTriplets{params: p, ot: ot, vals: p.fragValues()}, nil
+	return &ServerTriplets{params: p, ot: ot, vals: p.fragValues(), rng: rng, session: session}, nil
+}
+
+// Baseline generator accessors. Creation is lazy — at the first layer a
+// schedule routes to the backend — so unscheduled sessions consume no
+// extra randomness and stay byte-identical to the pre-schedule wire
+// format. Both parties reach the same layer at the same point of the
+// message sequence, so the lazily-run setup flights pair up.
+
+func (c *ClientTriplets) secureML() (*baseline.SecureMLClient, error) {
+	if c.sml == nil {
+		g, err := baseline.NewSecureMLClient(c.ot.Conn(), c.params.Ring, c.session+sessionOffSecureML, c.rng.Child("secureml"))
+		if err != nil {
+			return nil, fmt.Errorf("core: secureml setup: %w", err)
+		}
+		c.sml = g
+	}
+	return c.sml, nil
+}
+
+func (c *ClientTriplets) miniONN() (*baseline.MiniONNClient, error) {
+	if c.mon == nil {
+		bits := c.params.MiniONNBits
+		if bits == 0 {
+			bits = baseline.MiniONNKeyBits
+		}
+		g, err := baseline.NewMiniONNClient(c.ot.Conn(), c.params.Ring, bits, c.rng.Child("minionn"))
+		if err != nil {
+			return nil, fmt.Errorf("core: minionn setup: %w", err)
+		}
+		c.mon = g
+	}
+	return c.mon, nil
+}
+
+func (c *ClientTriplets) quotient() (*baseline.QuotientClient, error) {
+	if c.quo == nil {
+		g, err := baseline.NewQuotientClient(c.ot.Conn(), c.params.Ring, c.session+sessionOffQuotient, c.rng.Child("quotient"))
+		if err != nil {
+			return nil, fmt.Errorf("core: quotient setup: %w", err)
+		}
+		c.quo = g
+	}
+	return c.quo, nil
+}
+
+func (s *ServerTriplets) secureML() (*baseline.SecureMLServer, error) {
+	if s.sml == nil {
+		g, err := baseline.NewSecureMLServer(s.ot.Conn(), s.params.Ring, s.session+sessionOffSecureML, s.rng.Child("secureml"))
+		if err != nil {
+			return nil, fmt.Errorf("core: secureml setup: %w", err)
+		}
+		s.sml = g
+	}
+	return s.sml, nil
+}
+
+func (s *ServerTriplets) miniONN() (*baseline.MiniONNServer, error) {
+	if s.mon == nil {
+		g, err := baseline.NewMiniONNServer(s.ot.Conn(), s.params.Ring, s.rng.Child("minionn"))
+		if err != nil {
+			return nil, fmt.Errorf("core: minionn setup: %w", err)
+		}
+		s.mon = g
+	}
+	return s.mon, nil
+}
+
+func (s *ServerTriplets) quotient() (*baseline.QuotientServer, error) {
+	if s.quo == nil {
+		g, err := baseline.NewQuotientServer(s.ot.Conn(), s.params.Ring, s.session+sessionOffQuotient, s.rng.Child("quotient"))
+		if err != nil {
+			return nil, fmt.Errorf("core: quotient setup: %w", err)
+		}
+		s.quo = g
+	}
+	return s.quo, nil
+}
+
+// schemeParams resolves an optional per-layer scheme override into the
+// Params and fragment-value table the ABNN2 kernel runs under. Override
+// tables are cached by scheme name; a nil or identical override is the
+// fast path with zero allocation.
+func (c *ClientTriplets) schemeParams(sc quant.Scheme) (Params, [][]ring.Elem) {
+	if sc == nil || sc.Name() == c.params.Scheme.Name() {
+		return c.params, c.vals
+	}
+	p := c.params
+	p.Scheme = sc
+	if c.altVals == nil {
+		c.altVals = make(map[string][][]ring.Elem)
+	}
+	vals, ok := c.altVals[sc.Name()]
+	if !ok {
+		vals = p.fragValues()
+		c.altVals[sc.Name()] = vals
+	}
+	return p, vals
+}
+
+func (s *ServerTriplets) schemeParams(sc quant.Scheme) (Params, [][]ring.Elem) {
+	if sc == nil || sc.Name() == s.params.Scheme.Name() {
+		return s.params, s.vals
+	}
+	p := s.params
+	p.Scheme = sc
+	return p, p.fragValues()
 }
 
 // Mode selects the payload packaging of the offline phase.
@@ -114,15 +245,27 @@ func ModeFor(o int) Mode {
 // with the client share matrix R (n x o). It returns V (m x o) such that
 // the server's U satisfies U + V = W * R.
 func (c *ClientTriplets) GenerateClient(sh MatShape, R *ring.Mat, mode Mode) (*ring.Mat, error) {
+	return c.generateClient(c.params, c.vals, sh, R, mode)
+}
+
+// GenerateClientScheme is GenerateClient under a per-layer fragmentation
+// override (a planner-chosen η/γ decomposition); a nil scheme inherits
+// the session scheme.
+func (c *ClientTriplets) GenerateClientScheme(sh MatShape, R *ring.Mat, mode Mode, sc quant.Scheme) (*ring.Mat, error) {
+	p, vals := c.schemeParams(sc)
+	return c.generateClient(p, vals, sh, R, mode)
+}
+
+func (c *ClientTriplets) generateClient(params Params, vals [][]ring.Elem, sh MatShape, R *ring.Mat, mode Mode) (*ring.Mat, error) {
 	if err := checkShape(sh, mode); err != nil {
 		return nil, err
 	}
 	if R.Rows != sh.N || R.Cols != sh.O {
 		return nil, fmt.Errorf("core: R is %dx%d, want %dx%d", R.Rows, R.Cols, sh.N, sh.O)
 	}
-	rg := c.params.Ring
-	gamma := c.params.Scheme.Gamma()
-	total := c.params.NumOTs(sh)
+	rg := params.Ring
+	gamma := params.Scheme.Gamma()
+	total := params.NumOTs(sh)
 	V := ring.NewMat(sh.M, sh.O)
 	elemBytes := rg.Bytes()
 	padBytes := sh.O * elemBytes
@@ -139,7 +282,7 @@ func (c *ClientTriplets) GenerateClient(sh MatShape, R *ring.Mat, mode Mode) (*r
 		}
 		// Every OT's ciphertext block has a public size, so workers can
 		// write disjoint spans of the payload flight directly.
-		offs := payloadOffsets(c.params, ot, chunk, mode, elemBytes, padBytes)
+		offs := payloadOffsets(params, ot, chunk, mode, elemBytes, padBytes)
 		payload := make([]byte, offs[chunk])
 		// Pre-draw the per-OT masking randomness sequentially, in the
 		// exact order the sequential protocol consumed it — seeded
@@ -154,8 +297,8 @@ func (c *ClientTriplets) GenerateClient(sh MatShape, R *ring.Mat, mode Mode) (*r
 		// Fragment x row accumulation: each worker sums its OT range
 		// into a private partial of V, reduced below. Ring addition is
 		// commutative, so the result is independent of scheduling.
-		partials := make([]ring.Vec, par.NumChunks(c.params.Workers, chunk))
-		par.Chunks(c.params.Workers, chunk, func(part, lo, hi int) {
+		partials := make([]ring.Vec, par.NumChunks(params.Workers, chunk))
+		par.Chunks(params.Workers, chunk, func(part, lo, hi int) {
 			pv := make(ring.Vec, sh.M*sh.O)
 			partials[part] = pv
 			pV := &ring.Mat{Rows: sh.M, Cols: sh.O, Data: pv}
@@ -165,7 +308,7 @@ func (c *ClientTriplets) GenerateClient(sh MatShape, R *ring.Mat, mode Mode) (*r
 				i := g / (sh.N * gamma) // W row
 				j := (g / gamma) % sh.N // W col
 				f := g % gamma          // fragment
-				n := c.params.Scheme.FragmentN(f)
+				n := params.Scheme.FragmentN(f)
 				vrow := pV.Row(i)
 				out := payload[offs[local]:offs[local+1]]
 				switch mode {
@@ -176,7 +319,7 @@ func (c *ClientTriplets) GenerateClient(sh MatShape, R *ring.Mat, mode Mode) (*r
 					vrow[0] = rg.Add(vrow[0], s)
 					r := R.At(j, 0)
 					for t := 1; t < n; t++ {
-						m := rg.Sub(rg.Mul(c.vals[f][t], r), s)
+						m := rg.Sub(rg.Mul(vals[f][t], r), s)
 						copy(out[(t-1)*elemBytes:], xorRingElem(rg, m, blk.Pad(local, t, elemBytes)))
 					}
 				case NaiveN:
@@ -185,7 +328,7 @@ func (c *ClientTriplets) GenerateClient(sh MatShape, R *ring.Mat, mode Mode) (*r
 					vrow[0] = rg.Add(vrow[0], s)
 					r := R.At(j, 0)
 					for t := 0; t < n; t++ {
-						m := rg.Sub(rg.Mul(c.vals[f][t], r), s)
+						m := rg.Sub(rg.Mul(vals[f][t], r), s)
 						copy(out[t*elemBytes:], xorRingElem(rg, m, blk.Pad(local, t, elemBytes)))
 					}
 				case MultiBatch:
@@ -197,7 +340,7 @@ func (c *ClientTriplets) GenerateClient(sh MatShape, R *ring.Mat, mode Mode) (*r
 					for t := 0; t < n; t++ {
 						buf = buf[:0]
 						for k := 0; k < sh.O; k++ {
-							buf = rg.AppendElem(buf, rg.Sub(rg.Mul(c.vals[f][t], rrow[k]), ss[k]))
+							buf = rg.AppendElem(buf, rg.Sub(rg.Mul(vals[f][t], rrow[k]), ss[k]))
 						}
 						prg.XORBytes(out[t*padBytes:(t+1)*padBytes], buf, blk.Pad(local, t, padBytes))
 					}
@@ -242,19 +385,30 @@ func payloadOffsets(p Params, base, chunk int, mode Mode, elemBytes, padBytes in
 // GenerateServer runs the server side for quantized weights W (m x n,
 // row-major int64). It returns U (m x o).
 func (s *ServerTriplets) GenerateServer(sh MatShape, W []int64, mode Mode) (*ring.Mat, error) {
+	return s.generateServer(s.params, sh, W, mode)
+}
+
+// GenerateServerScheme is GenerateServer under a per-layer fragmentation
+// override; a nil scheme inherits the session scheme.
+func (s *ServerTriplets) GenerateServerScheme(sh MatShape, W []int64, mode Mode, sc quant.Scheme) (*ring.Mat, error) {
+	p, _ := s.schemeParams(sc)
+	return s.generateServer(p, sh, W, mode)
+}
+
+func (s *ServerTriplets) generateServer(params Params, sh MatShape, W []int64, mode Mode) (*ring.Mat, error) {
 	if err := checkShape(sh, mode); err != nil {
 		return nil, err
 	}
 	if len(W) != sh.M*sh.N {
 		return nil, fmt.Errorf("core: W has %d elements, want %d", len(W), sh.M*sh.N)
 	}
-	choices, err := quant.DecomposeAll(s.params.Scheme, W)
+	choices, err := quant.DecomposeAll(params.Scheme, W)
 	if err != nil {
 		return nil, err
 	}
-	rg := s.params.Ring
-	gamma := s.params.Scheme.Gamma()
-	total := s.params.NumOTs(sh)
+	rg := params.Ring
+	gamma := params.Scheme.Gamma()
+	total := params.NumOTs(sh)
 	U := ring.NewMat(sh.M, sh.O)
 	elemBytes := rg.Bytes()
 	padBytes := sh.O * elemBytes
@@ -278,14 +432,14 @@ func (s *ServerTriplets) GenerateServer(sh MatShape, W []int64, mode Mode) (*rin
 		if err != nil {
 			return nil, fmt.Errorf("core: server recv payload: %w", err)
 		}
-		offs := payloadOffsets(s.params, ot, chunk, mode, elemBytes, padBytes)
+		offs := payloadOffsets(params, ot, chunk, mode, elemBytes, padBytes)
 		if len(payload) != offs[chunk] {
 			return nil, fmt.Errorf("core: payload is %d bytes, want %d", len(payload), offs[chunk])
 		}
 		// Mirror of the client kernel: workers decode disjoint payload
 		// spans into private partials of U, reduced below.
-		partials := make([]ring.Vec, par.NumChunks(s.params.Workers, chunk))
-		err = par.ChunksErr(s.params.Workers, chunk, func(part, lo, hi int) error {
+		partials := make([]ring.Vec, par.NumChunks(params.Workers, chunk))
+		err = par.ChunksErr(params.Workers, chunk, func(part, lo, hi int) error {
 			pu := make(ring.Vec, sh.M*sh.O)
 			partials[part] = pu
 			pU := &ring.Mat{Rows: sh.M, Cols: sh.O, Data: pu}

@@ -1,0 +1,366 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"abnn2/internal/baseline"
+	"abnn2/internal/core"
+	"abnn2/internal/quant"
+)
+
+// Link models the channel the offline phase runs over. Predicted layer
+// time is CommBits / bandwidth + Flights * RTT + compute / ComputeAmort.
+type Link struct {
+	Name string `json:"name,omitempty"`
+	// BandwidthMBps is the link bandwidth in megabytes per second.
+	BandwidthMBps float64 `json:"bandwidth_mbps"`
+	// RTTms is the round-trip time in milliseconds; every protocol
+	// flight pair pays one.
+	RTTms float64 `json:"rtt_ms"`
+	// ComputeAmort divides predicted offline *compute* time. On a WAN
+	// the offline phase is bank-precomputed ahead of need (overlapping
+	// with idle link time across many sessions), so compute is heavily
+	// amortized relative to the wire; on a LAN inline generation pays
+	// it in full. Must be >= 1.
+	ComputeAmort float64 `json:"compute_amort"`
+}
+
+// LAN is the datacenter preset: 10 Gbit/s, 0.2 ms RTT, inline offline
+// (compute paid in full).
+func LAN() Link { return Link{Name: "lan", BandwidthMBps: 1250, RTTms: 0.2, ComputeAmort: 1} }
+
+// WAN is the wide-area preset matching the paper's evaluation setting
+// (72 Mbit/s-class broadband, 72 ms RTT); offline compute is assumed
+// bank-amortized across sessions.
+func WAN() Link { return Link{Name: "wan", BandwidthMBps: 9, RTTms: 72, ComputeAmort: 64} }
+
+// ParseLink accepts "lan", "wan", or "<MBps>:<RTTms>" (custom link,
+// ComputeAmort 1).
+func ParseLink(s string) (Link, error) {
+	switch s {
+	case "lan":
+		return LAN(), nil
+	case "wan":
+		return WAN(), nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) == 2 {
+		bw, err1 := strconv.ParseFloat(parts[0], 64)
+		rtt, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 == nil && err2 == nil && bw > 0 && rtt >= 0 {
+			return Link{Name: s, BandwidthMBps: bw, RTTms: rtt, ComputeAmort: 1}, nil
+		}
+	}
+	return Link{}, fmt.Errorf("plan: cannot parse link %q (want lan, wan, or MBps:RTTms)", s)
+}
+
+// Compute-cost constants. These are coarse single-core calibrations —
+// the planner needs relative magnitudes (symmetric-crypto OTs are
+// orders of magnitude cheaper than Paillier ops), not microbenchmark
+// accuracy; mispredicting compute by 2x cannot flip a choice that comm
+// and RTT do not already support.
+const (
+	// secondsPerOT prices one OT-extension invocation (hashing, ring
+	// arithmetic, payload packing) on either party.
+	secondsPerOT = 200e-9
+	// secondsPerByte prices touching one payload byte beyond the OT
+	// fixed cost.
+	secondsPerByte = 0.5e-9
+	// paillierCubeSeconds prices one Paillier ciphertext operation as
+	// cube of the key size: enc/dec are modexps over a 2*keyBits
+	// modulus, cubic in keyBits. 5e-12 * 1024^3 ~ 5 ms/op, the measured
+	// order of magnitude for the Go bignum baseline.
+	paillierCubeSeconds = 5e-12
+)
+
+// Candidate is one evaluated (backend, scheme) option for a layer.
+type Candidate struct {
+	Choice   Choice
+	CommBits float64 // predicted offline wire bits, both directions
+	Flights  int     // wire flights (each pair of flights costs one RTT)
+	Compute  float64 // seconds of offline compute, before amortization
+	Seconds  float64 // total predicted seconds under the link
+}
+
+// LayerEstimate is the planner's full view of one layer: every
+// applicable candidate (sorted by predicted cost) and the chosen one.
+type LayerEstimate struct {
+	Layer      int
+	Shape      core.MatShape
+	Chosen     Candidate
+	Candidates []Candidate
+}
+
+// Estimate is a priced plan: per-layer predictions plus totals.
+type Estimate struct {
+	Link   Link
+	Layers []LayerEstimate
+}
+
+// TotalSeconds sums the predicted per-layer cost. Layers execute
+// sequentially in the offline protocol, so the sum is the end-to-end
+// prediction.
+func (e *Estimate) TotalSeconds() float64 {
+	var t float64
+	for _, l := range e.Layers {
+		t += l.Chosen.Seconds
+	}
+	return t
+}
+
+// TotalCommBits sums predicted offline communication.
+func (e *Estimate) TotalCommBits() float64 {
+	var b float64
+	for _, l := range e.Layers {
+		b += l.Chosen.CommBits
+	}
+	return b
+}
+
+// Input is everything the planner needs; all fields are public protocol
+// state, so client and server compute identical plans from it.
+type Input struct {
+	Arch     core.Arch
+	RingBits uint
+	Batch    int
+	Link     Link
+	// MiniONNBits overrides the Paillier key size (0 = baseline
+	// default).
+	MiniONNBits int
+}
+
+func (in Input) validate() error {
+	if err := in.Arch.Validate(); err != nil {
+		return err
+	}
+	if in.RingBits == 0 || in.RingBits > 64 {
+		return fmt.Errorf("plan: ring bits %d outside [1,64]", in.RingBits)
+	}
+	if in.Batch <= 0 {
+		return fmt.Errorf("plan: batch must be positive")
+	}
+	if in.Link.BandwidthMBps <= 0 || in.Link.ComputeAmort < 1 {
+		return fmt.Errorf("plan: malformed link %+v", in.Link)
+	}
+	return nil
+}
+
+func (in Input) keyBits() int {
+	if in.MiniONNBits > 0 {
+		return in.MiniONNBits
+	}
+	return baseline.MiniONNKeyBits
+}
+
+// price converts a candidate's raw resources into seconds under the
+// link model.
+func (l Link) price(c *Candidate) {
+	c.Seconds = c.CommBits/8/(l.BandwidthMBps*1e6) + float64(c.Flights)/2*l.RTTms/1e3 + c.Compute/l.ComputeAmort
+}
+
+// abnn2Candidate prices the ABNN2 backend for one layer under a
+// concrete fragmentation scheme (the session scheme when override is
+// "").
+func abnn2Candidate(in Input, sh core.MatShape, sc quant.Scheme, override string) Candidate {
+	cx := core.OfflineComplexity(in.RingBits, sc, sh)
+	chunks := int(math.Ceil(float64(cx.NumOTs) / 4096))
+	c := Candidate{
+		Choice:   Choice{Backend: core.BackendABNN2, Scheme: override},
+		CommBits: cx.CommBits,
+		Flights:  2 * chunks,
+		Compute:  float64(cx.NumOTs)*secondsPerOT + cx.CommBits/8*secondsPerByte,
+	}
+	in.Link.price(&c)
+	return c
+}
+
+// candidates enumerates every applicable (backend, scheme) option for
+// one layer, in a fixed deterministic order.
+func candidates(in Input, session quant.Scheme, l core.LayerSpec) []Candidate {
+	sh := core.MatShape{M: l.Out, N: l.ColRows(), O: in.Batch * l.Cols()}
+	out := []Candidate{abnn2Candidate(in, sh, session, "")}
+
+	// Alternative η/γ decompositions of the same weight range: for
+	// bit schemes, re-fragment the η bits into uniform widths (plus a
+	// remainder fragment). Candidate counts trade payload size against
+	// OT count, so the best width is shape- and link-dependent.
+	for _, sc := range altSchemes(session) {
+		out = append(out, abnn2Candidate(in, sh, sc, sc.Name()))
+	}
+
+	cx := core.SecureMLComplexity(in.RingBits, sh)
+	sml := Candidate{
+		Choice:   Choice{Backend: core.BackendSecureML},
+		CommBits: cx.CommBits,
+		Flights:  2 * int(math.Ceil(float64(sh.M)*float64(sh.N)*float64(in.RingBits)/8192)),
+		Compute:  float64(cx.NumOTs)*secondsPerOT + cx.CommBits/8*secondsPerByte,
+	}
+	in.Link.price(&sml)
+	out = append(out, sml)
+
+	kb := in.keyBits()
+	mcx := core.MiniONNComplexity(kb, sh)
+	ops := (float64(sh.N) + float64(sh.M)) * float64(sh.O)
+	mon := Candidate{
+		Choice:   Choice{Backend: core.BackendMiniONN},
+		CommBits: mcx.CommBits,
+		Flights:  3, // public key, ciphertexts up, ciphertexts down
+		Compute:  ops * paillierCubeSeconds * float64(kb) * float64(kb) * float64(kb),
+	}
+	in.Link.price(&mon)
+	out = append(out, mon)
+
+	if min, max := session.Range(); min >= -1 && max <= 1 && sh.O == 1 {
+		qcx := core.QuotientComplexity(in.RingBits, sh)
+		quo := Candidate{
+			Choice:   Choice{Backend: core.BackendQuotient},
+			CommBits: qcx.CommBits,
+			Flights:  2,
+			Compute:  float64(qcx.NumOTs)*secondsPerOT + qcx.CommBits/8*secondsPerByte,
+		}
+		in.Link.price(&quo)
+		out = append(out, quo)
+	}
+	return out
+}
+
+// altSchemes enumerates alternative uniform-width decompositions of a
+// bit scheme's η bits (same range, same signedness). Ternary and binary
+// have no alternatives. The order is fixed (ascending width), keeping
+// the planner deterministic.
+func altSchemes(session quant.Scheme) []quant.Scheme {
+	eta := bitEta(session)
+	if eta < 2 {
+		return nil
+	}
+	signed := false
+	if min, _ := session.Range(); min < 0 {
+		signed = true
+	}
+	var out []quant.Scheme
+	for w := uint(1); w <= 8 && w <= eta; w++ {
+		widths := make([]uint, 0, eta/w+1)
+		rem := eta
+		for rem >= w {
+			widths = append(widths, w)
+			rem -= w
+		}
+		if rem > 0 {
+			widths = append(widths, rem)
+		}
+		sc := quant.NewBitScheme(signed, widths...)
+		if sc.Name() == session.Name() {
+			continue
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// bitEta returns the total bit width of a power-of-two fragment scheme,
+// or 0 for schemes (like ternary) that are not bit decompositions.
+func bitEta(sc quant.Scheme) uint {
+	var eta uint
+	for f := 0; f < sc.Gamma(); f++ {
+		n := sc.FragmentN(f)
+		if n&(n-1) != 0 {
+			return 0
+		}
+		for n > 1 {
+			eta++
+			n >>= 1
+		}
+	}
+	return eta
+}
+
+// Choose runs the planner: per layer, evaluate every applicable
+// candidate and keep the cheapest. Strict-less-than comparison over a
+// fixed enumeration order makes the result deterministic for a fixed
+// Input.
+func Choose(in Input) (*Plan, *Estimate, error) {
+	if err := in.validate(); err != nil {
+		return nil, nil, err
+	}
+	session, err := quant.Parse(in.Arch.SchemeName)
+	if err != nil {
+		return nil, nil, fmt.Errorf("plan: session scheme: %w", err)
+	}
+	p := &Plan{Layers: make([]Choice, len(in.Arch.Layers))}
+	est := &Estimate{Link: in.Link, Layers: make([]LayerEstimate, len(in.Arch.Layers))}
+	for li, l := range in.Arch.Layers {
+		cands := candidates(in, session, l)
+		best := cands[0]
+		for _, c := range cands[1:] {
+			if c.Seconds < best.Seconds {
+				best = c
+			}
+		}
+		sorted := append([]Candidate(nil), cands...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Seconds < sorted[j].Seconds })
+		p.Layers[li] = best.Choice
+		est.Layers[li] = LayerEstimate{
+			Layer:      li,
+			Shape:      core.MatShape{M: l.Out, N: l.ColRows(), O: in.Batch * l.Cols()},
+			Chosen:     best,
+			Candidates: sorted,
+		}
+	}
+	return p, est, nil
+}
+
+// EstimatePlan prices a given plan (rather than choosing one), for
+// predicted-vs-measured reporting.
+func EstimatePlan(in Input, p *Plan) (*Estimate, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(in.Arch, in.Batch); err != nil {
+		return nil, err
+	}
+	session, err := quant.Parse(in.Arch.SchemeName)
+	if err != nil {
+		return nil, fmt.Errorf("plan: session scheme: %w", err)
+	}
+	est := &Estimate{Link: in.Link, Layers: make([]LayerEstimate, len(p.Layers))}
+	for li, ch := range p.Layers {
+		l := in.Arch.Layers[li]
+		cands := candidates(in, session, l)
+		var chosen *Candidate
+		for i := range cands {
+			if cands[i].Choice == ch {
+				chosen = &cands[i]
+				break
+			}
+		}
+		if chosen == nil {
+			// A valid choice outside the planner's enumeration (e.g. a
+			// hand-written scheme override): price it directly.
+			sh := core.MatShape{M: l.Out, N: l.ColRows(), O: in.Batch * l.Cols()}
+			var c Candidate
+			switch ch.Backend {
+			case core.BackendABNN2:
+				sc := session
+				if ch.Scheme != "" {
+					if sc, err = quant.Parse(ch.Scheme); err != nil {
+						return nil, err
+					}
+				}
+				c = abnn2Candidate(in, sh, sc, ch.Scheme)
+			default:
+				return nil, fmt.Errorf("plan: layer %d: cannot price %s", li, ch.Backend)
+			}
+			chosen = &c
+		}
+		est.Layers[li] = LayerEstimate{
+			Layer:  li,
+			Shape:  core.MatShape{M: l.Out, N: l.ColRows(), O: in.Batch * l.Cols()},
+			Chosen: *chosen,
+		}
+	}
+	return est, nil
+}

@@ -1,0 +1,88 @@
+package plan
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"abnn2/internal/core"
+)
+
+// FlagUsage documents the shared -plan flag value syntax.
+const FlagUsage = "per-layer offline backend plan: auto (cost-model planner under -link), " +
+	"a backend name (abnn2, secureml, minionn, quotient) for a uniform plan, " +
+	"or @file naming a JSON plan (empty = no plan, the all-ABNN2 default)"
+
+// FromFlag resolves a -plan flag value against a model: "auto" runs
+// the cost-model planner under in.Link, a backend name builds a
+// uniform plan, and "@path" loads a JSON plan file. The empty value
+// means no plan (nil, nil, nil). The estimate is nil when the plan
+// validates but cannot be priced.
+func FromFlag(val string, in Input) (*Plan, *Estimate, error) {
+	switch {
+	case val == "":
+		return nil, nil, nil
+	case val == "auto":
+		return Choose(in)
+	case strings.HasPrefix(val, "@"):
+		data, err := os.ReadFile(val[1:])
+		if err != nil {
+			return nil, nil, fmt.Errorf("plan: %w", err)
+		}
+		p, err := FromJSON(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p.Validate(in.Arch, in.Batch); err != nil {
+			return nil, nil, err
+		}
+		est, _ := EstimatePlan(in, p)
+		return p, est, nil
+	default:
+		b, err := core.ParseBackend(val)
+		if err != nil {
+			return nil, nil, fmt.Errorf("plan: bad -plan value %q: want auto, a backend name, or @file", val)
+		}
+		p := Uniform(b, len(in.Arch.Layers))
+		if err := p.Validate(in.Arch, in.Batch); err != nil {
+			return nil, nil, err
+		}
+		est, _ := EstimatePlan(in, p)
+		return p, est, nil
+	}
+}
+
+// Table renders the estimate as an aligned predicted-cost table, one
+// row per layer plus a totals row.
+func (e *Estimate) Table() string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "layer\tshape\tbackend\tpred comm\tflights\tpred time")
+	var flights int
+	for _, l := range e.Layers {
+		name := l.Chosen.Choice.Backend.String()
+		if s := l.Chosen.Choice.Scheme; s != "" {
+			name += ":" + s
+		}
+		fmt.Fprintf(w, "%d\t%dx%dx%d\t%s\t%s\t%d\t%.3fs\n",
+			l.Layer, l.Shape.M, l.Shape.N, l.Shape.O, name,
+			fmtBits(l.Chosen.CommBits), l.Chosen.Flights, l.Chosen.Seconds)
+		flights += l.Chosen.Flights
+	}
+	fmt.Fprintf(w, "total\t\t%s\t%s\t%d\t%.3fs\n", e.Link.Name, fmtBits(e.TotalCommBits()), flights, e.TotalSeconds())
+	w.Flush()
+	return sb.String()
+}
+
+// fmtBits renders a bit count as bytes with a binary unit.
+func fmtBits(bits float64) string {
+	b := bits / 8
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", b/(1<<10))
+	}
+	return fmt.Sprintf("%.0f B", b)
+}

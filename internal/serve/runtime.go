@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"abnn2"
+	"abnn2/internal/plan"
 	"abnn2/internal/trace"
 )
 
@@ -354,7 +356,19 @@ func (rt *Runtime) HandleConn(ctx context.Context, conn abnn2.Conn, remote strin
 		})
 	}
 	if h.Offline {
+		if len(h.Plan) > 0 {
+			// Replenishment generates the all-ABNN2 session material;
+			// planned pools are filled by planned online sessions.
+			return rt.reject(conn, remote, Rejection{
+				Code:   RejectBadPlan,
+				Reason: "offline replenishment sessions do not take a plan",
+			})
+		}
 		return rt.handleOffline(ctx, conn, remote, model, h)
+	}
+	sessPlan, perr := rt.checkPlan(model, h)
+	if perr != nil {
+		return rt.reject(conn, remote, Rejection{Code: RejectBadPlan, Reason: perr.Error()})
 	}
 	release, rej, degraded := rt.admit(model)
 	if rej != nil {
@@ -392,6 +406,11 @@ func (rt *Runtime) HandleConn(ctx context.Context, conn abnn2.Conn, remote strin
 	cfg := rt.session
 	cfg.SessionID = id
 	cfg.Bank = rt.bank
+	if sessPlan != nil {
+		// The admitted plan becomes the session's requirement: every
+		// batch announcement must carry this exact plan.
+		cfg.Plan = sessPlan
+	}
 	rt.m.sessionStart(model.Name)
 	start := time.Now()
 	stats, err := abnn2.ServeContext(ctx, conn, model.Quant, cfg)
@@ -514,6 +533,30 @@ func (rt *Runtime) handleOffline(ctx context.Context, conn abnn2.Conn, remote st
 	return nil
 }
 
+// checkPlan validates a hello's proposed per-layer protocol plan
+// against the requested model. A nil return with a nil plan means the
+// hello proposed none. Validation runs before admission — a plan the
+// server cannot execute is refused in the handshake round, before the
+// client sinks base-OT work into a doomed session.
+func (rt *Runtime) checkPlan(model *Model, h hello) (*abnn2.Plan, error) {
+	if len(h.Plan) == 0 {
+		return nil, nil
+	}
+	if rt.session.Plan != nil && !bytes.Equal(h.Plan, rt.session.Plan.Marshal()) {
+		return nil, fmt.Errorf("this server requires plan %s", rt.session.Plan)
+	}
+	p, err := plan.Unmarshal(h.Plan)
+	if err != nil {
+		return nil, err
+	}
+	// Batch 1 is the most permissive shape; the session layer re-checks
+	// against each announced batch.
+	if err := p.Validate(model.Quant.Arch(), 1); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
 // admit decides one handshake: a session slot plus degradation status,
 // or a typed rejection. Decision order: draining beats saturation beats
 // bank state, so a shutting-down server answers consistently whatever
@@ -600,4 +643,18 @@ func (rt *Runtime) Connect(ctx context.Context, model string) (abnn2.Conn, abnn2
 		return nil, arch, err
 	}
 	return cconn, arch, nil
+}
+
+// ConnectPlan is Connect proposing a per-layer protocol plan in the
+// handshake; the same plan must then be set as abnn2.Config.Plan for
+// the Dial on the returned connection.
+func (rt *Runtime) ConnectPlan(ctx context.Context, model string, p *abnn2.Plan) (abnn2.Conn, abnn2.Arch, error) {
+	sconn, cconn := abnn2.Pipe()
+	go func() { _ = rt.HandleConn(ctx, sconn, "inproc") }()
+	info, err := ClientHandshakePlan(cconn, model, p)
+	if err != nil {
+		cconn.Close()
+		return nil, info.Arch, err
+	}
+	return cconn, info.Arch, nil
 }

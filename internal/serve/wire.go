@@ -39,12 +39,17 @@ const maxHelloBytes = 4096
 // (empty selects the registry's default model). Offline asks for a
 // remote offline-replenishment session instead of an inference session;
 // it requires Peer, the client's durable bank identity, under which the
-// server will store its correlation halves.
+// server will store its correlation halves. Plan, when present, is the
+// marshalled per-layer protocol plan the client intends to announce on
+// every batch; the server validates it against the model at admission —
+// a plan it cannot serve is refused in the handshake round, before any
+// base-OT work.
 type hello struct {
 	V       int    `json:"abnn2"`
 	Model   string `json:"model,omitempty"`
 	Offline bool   `json:"offline,omitempty"`
 	Peer    string `json:"peer,omitempty"`
+	Plan    []byte `json:"plan,omitempty"`
 }
 
 // helloReply is the server's answer: the model's public architecture on
@@ -74,6 +79,7 @@ const (
 	RejectDraining     = "draining"      // shutdown in progress
 	RejectUnknownModel = "unknown-model" // requested model not registered
 	RejectBadHello     = "bad-hello"     // malformed or wrong-version hello
+	RejectBadPlan      = "bad-plan"      // proposed plan invalid for the model
 )
 
 // Rejection is the typed load-shedding answer of an overloaded or
@@ -155,6 +161,19 @@ func ClientHandshakeOffline(conn abnn2.Conn, model, peer string) (HandshakeInfo,
 	return clientHandshakeInfo(conn, hello{V: helloVersion, Model: model, Offline: true, Peer: peer})
 }
 
+// ClientHandshakePlan performs the handshake proposing a per-layer
+// protocol plan. The server validates the plan against the model at
+// admission and answers a permanent bad-plan rejection if it cannot
+// serve it; on success the same plan must be set as abnn2.Config.Plan
+// for the Dial on this connection.
+func ClientHandshakePlan(conn abnn2.Conn, model string, p *abnn2.Plan) (HandshakeInfo, error) {
+	h := hello{V: helloVersion, Model: model}
+	if p != nil {
+		h.Plan = p.Marshal()
+	}
+	return clientHandshakeInfo(conn, h)
+}
+
 // clientHandshakeInfo sends h and decodes the full reply.
 func clientHandshakeInfo(conn abnn2.Conn, h hello) (HandshakeInfo, error) {
 	var info HandshakeInfo
@@ -225,6 +244,18 @@ func DialModelInfo(ctx context.Context, addr, model string) (abnn2.Conn, Handsha
 // Peer.
 func DialOffline(ctx context.Context, addr, model, peer string) (abnn2.Conn, HandshakeInfo, error) {
 	return dialHello(ctx, addr, hello{V: helloVersion, Model: model, Offline: true, Peer: peer})
+}
+
+// DialModelPlan is DialModel proposing a per-layer protocol plan in the
+// hello. A bad-plan rejection is permanent and fails immediately; on
+// success the same plan must be set as abnn2.Config.Plan for the Dial
+// on the returned connection.
+func DialModelPlan(ctx context.Context, addr, model string, p *abnn2.Plan) (abnn2.Conn, HandshakeInfo, error) {
+	h := hello{V: helloVersion, Model: model}
+	if p != nil {
+		h.Plan = p.Marshal()
+	}
+	return dialHello(ctx, addr, h)
 }
 
 func dialHello(ctx context.Context, addr string, h hello) (abnn2.Conn, HandshakeInfo, error) {

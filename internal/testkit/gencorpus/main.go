@@ -21,6 +21,7 @@ import (
 	"abnn2/internal/core"
 	"abnn2/internal/gc"
 	"abnn2/internal/paillier"
+	"abnn2/internal/plan"
 	"abnn2/internal/prg"
 	"abnn2/internal/ring"
 )
@@ -215,4 +216,39 @@ func main() {
 		{[]byte{}},
 	}
 	writeCorpus("internal/bank/testdata/fuzz/FuzzDecodeCorr", corrEntries)
+
+	// internal/plan: the plan frame the client's announcement carries.
+	// Seed valid frames (mixed backends, scheme override, the one-layer
+	// minimum) and the exact rejection boundaries the parser enforces:
+	// zero and over-MaxLayers counts, an unknown backend id, an over-long
+	// scheme claim, a truncated scheme body, and trailing bytes.
+	mixedPlan := &plan.Plan{Layers: []plan.Choice{
+		{Backend: core.BackendABNN2, Scheme: "8(2,2,2,2)"},
+		{Backend: core.BackendMiniONN},
+		{Backend: core.BackendSecureML},
+	}}
+	onePlan := plan.Uniform(core.BackendQuotient, 1)
+	bigPlan := plan.Uniform(core.BackendABNN2, plan.MaxLayers)
+	badBackend := append([]byte{}, onePlan.Marshal()...)
+	badBackend[6] = 0xEE // backend byte of layer 0
+	longScheme := append([]byte{}, onePlan.Marshal()...)
+	longScheme[7] = plan.MaxSchemeName + 1 // scheme-length byte of layer 0
+	tornScheme := mixedPlan.Marshal()
+	tornScheme = tornScheme[:len(tornScheme)-3]
+	zeroCount := []byte("ABP1\x00\x00")
+	overCount := []byte("ABP1\xff\xff")
+	planEntries := []entry{
+		{mixedPlan.Marshal()},
+		{onePlan.Marshal()},
+		{bigPlan.Marshal()},
+		{badBackend},
+		{longScheme},
+		{tornScheme},
+		{zeroCount},
+		{overCount},
+		{append(onePlan.Marshal(), 0x00)}, // trailing byte
+		{g.Bytes(len(mixedPlan.Marshal()))},
+		{[]byte{}},
+	}
+	writeCorpus("internal/plan/testdata/fuzz/FuzzUnmarshalPlan", planEntries)
 }
